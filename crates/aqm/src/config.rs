@@ -1,0 +1,134 @@
+//! Uniform construction of the paper's three AQMs from scenario parameters.
+
+use crate::codel::{Codel, CodelConfig};
+use crate::fq_codel::{FqCodel, FqCodelConfig};
+use crate::pie::{Pie, PieConfig};
+use crate::red::{Red, RedConfig};
+use elephants_netsim::{Aqm, DropTail};
+use serde::{Deserialize, Serialize};
+
+/// The queue disciplines evaluated by the paper (plus plain CoDel for
+/// completeness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AqmKind {
+    /// Droptail FIFO.
+    Fifo,
+    /// Random Early Detection.
+    Red,
+    /// Flow-queuing CoDel (`tc fq_codel`).
+    FqCodel,
+    /// Plain single-queue CoDel (not in the paper's grid; kept for ablations).
+    Codel,
+    /// PIE, RFC 8033 (extension: the paper's "future AQM" direction).
+    Pie,
+}
+
+impl AqmKind {
+    /// The grid the paper sweeps (Table 1).
+    pub const PAPER_SET: [AqmKind; 3] = [AqmKind::Fifo, AqmKind::FqCodel, AqmKind::Red];
+
+    /// Lower-case name used in reports and file names.
+    pub fn name(self) -> &'static str {
+        match self {
+            AqmKind::Fifo => "fifo",
+            AqmKind::Red => "red",
+            AqmKind::FqCodel => "fq_codel",
+            AqmKind::Codel => "codel",
+            AqmKind::Pie => "pie",
+        }
+    }
+}
+
+impl std::fmt::Display for AqmKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for AqmKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fifo" | "pfifo" | "droptail" => Ok(AqmKind::Fifo),
+            "red" => Ok(AqmKind::Red),
+            "fq_codel" | "fqcodel" | "fq-codel" => Ok(AqmKind::FqCodel),
+            "codel" => Ok(AqmKind::Codel),
+            "pie" => Ok(AqmKind::Pie),
+            other => Err(format!("unknown AQM '{other}'")),
+        }
+    }
+}
+
+/// Build the bottleneck queue discipline for a scenario.
+///
+/// * `buffer_bytes` — the experiment's queue length (a BDP multiple).
+/// * `bandwidth_bps` — bottleneck rate (RED uses it for idle decay).
+/// * `mtu` — the jumbo-frame size (8900 in the paper).
+/// * `ecn` — enable ECN marking (off in the paper).
+/// * `hash_salt` — per-run salt for FQ-CoDel's flow hash.
+pub fn build_aqm(
+    kind: AqmKind,
+    buffer_bytes: u64,
+    bandwidth_bps: u64,
+    mtu: u32,
+    ecn: bool,
+    hash_salt: u64,
+) -> Box<dyn Aqm> {
+    match kind {
+        AqmKind::Fifo => Box::new(DropTail::new(buffer_bytes.max(mtu as u64))),
+        AqmKind::Red => {
+            let mut cfg = RedConfig::tc_defaults(buffer_bytes.max(4 * mtu as u64), bandwidth_bps, mtu);
+            cfg.ecn = ecn;
+            Box::new(Red::new(cfg))
+        }
+        AqmKind::FqCodel => {
+            let mut cfg = FqCodelConfig::tc_defaults(buffer_bytes, mtu);
+            cfg.codel.ecn = ecn;
+            cfg.hash_salt = hash_salt;
+            Box::new(FqCodel::new(cfg))
+        }
+        AqmKind::Codel => {
+            let mut cfg = CodelConfig { limit_bytes: buffer_bytes.max(4 * mtu as u64), mtu, ..CodelConfig::default() };
+            cfg.ecn = ecn;
+            Box::new(Codel::new(cfg))
+        }
+        AqmKind::Pie => {
+            let mut cfg = PieConfig { limit_bytes: buffer_bytes.max(4 * mtu as u64), ..PieConfig::default() };
+            cfg.ecn = ecn;
+            Box::new(Pie::new(cfg))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in [AqmKind::Fifo, AqmKind::Red, AqmKind::FqCodel, AqmKind::Codel, AqmKind::Pie] {
+            let parsed: AqmKind = kind.name().parse().unwrap();
+            assert_eq!(parsed, kind);
+        }
+        assert!("bogus".parse::<AqmKind>().is_err());
+    }
+
+    #[test]
+    fn builds_every_kind() {
+        for kind in [AqmKind::Fifo, AqmKind::Red, AqmKind::FqCodel, AqmKind::Codel, AqmKind::Pie] {
+            let aqm = build_aqm(kind, 1_000_000, 100_000_000, 8900, false, 1);
+            assert_eq!(aqm.name(), kind.name());
+            assert_eq!(aqm.backlog_pkts(), 0);
+        }
+    }
+
+    #[test]
+    fn tiny_buffers_are_clamped_to_sane_minimums() {
+        // A 0.5 BDP buffer at 100 Mbps is ~390 kB, but make sure degenerate
+        // small values don't produce unusable queues.
+        let aqm = build_aqm(AqmKind::Red, 1, 100_000_000, 8900, false, 0);
+        assert_eq!(aqm.name(), "red");
+        let aqm = build_aqm(AqmKind::Fifo, 1, 100_000_000, 8900, false, 0);
+        assert_eq!(aqm.name(), "fifo");
+    }
+}

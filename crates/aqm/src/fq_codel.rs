@@ -1,0 +1,464 @@
+//! FQ-CoDel — flow-queuing CoDel (RFC 8290, `tc fq_codel`).
+//!
+//! Arriving packets are hashed by flow into one of `flows` sub-queues.
+//! Sub-queues are served by deficit round robin (quantum = one MTU by
+//! default) with the usual new-flow priority list, and each sub-queue is
+//! governed by its own CoDel instance. On overflow, packets are dropped from
+//! the head of the *fattest* sub-queue, which is what protects light flows
+//! from heavy ones.
+
+use crate::codel::{CodelConfig, CodelState};
+use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// FQ-CoDel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FqCodelConfig {
+    /// Number of hash buckets (tc default 1024).
+    pub flows: usize,
+    /// DRR quantum in bytes (tc default: one MTU).
+    pub quantum: u32,
+    /// Hard limit on total queued packets (tc default 10240).
+    pub limit_pkts: usize,
+    /// Hard limit on total queued bytes (tc `memory_limit`, default 32 MB).
+    pub memory_limit: u64,
+    /// Per-bucket CoDel parameters.
+    pub codel: CodelConfig,
+    /// Salt mixed into the flow hash (set per run for collision realism).
+    pub hash_salt: u64,
+}
+
+impl FqCodelConfig {
+    /// `tc fq_codel` defaults for the given MTU, with the byte capacity of
+    /// the configured buffer.
+    pub fn tc_defaults(buffer_bytes: u64, mtu: u32) -> Self {
+        FqCodelConfig {
+            flows: 1024,
+            quantum: mtu,
+            // tc defaults to 10240 packets; honour the experiment's buffer
+            // size in packets so the "queue length" knob stays meaningful.
+            limit_pkts: ((buffer_bytes / mtu as u64) as usize).clamp(64, 10240 * 64),
+            memory_limit: buffer_bytes.max(4 * mtu as u64),
+            codel: CodelConfig {
+                limit_bytes: u64::MAX, // bucket-level limit unused; global limits apply
+                mtu,
+                ..CodelConfig::default()
+            },
+            hash_salt: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ListState {
+    Idle,
+    New,
+    Old,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    queue: VecDeque<Packet>,
+    codel: CodelState,
+    deficit: i64,
+    backlog: u64,
+    state: ListState,
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            queue: VecDeque::new(),
+            codel: CodelState::default(),
+            deficit: 0,
+            backlog: 0,
+            state: ListState::Idle,
+        }
+    }
+}
+
+/// The FQ-CoDel discipline.
+pub struct FqCodel {
+    cfg: FqCodelConfig,
+    buckets: Vec<Bucket>,
+    new_flows: VecDeque<usize>,
+    old_flows: VecDeque<usize>,
+    total_pkts: usize,
+    total_bytes: u64,
+    stats: AqmStats,
+}
+
+impl FqCodel {
+    /// Build an FQ-CoDel queue.
+    pub fn new(cfg: FqCodelConfig) -> Self {
+        assert!(cfg.flows > 0 && cfg.flows.is_power_of_two(), "flows must be a power of two");
+        assert!(cfg.quantum > 0);
+        FqCodel {
+            buckets: (0..cfg.flows).map(|_| Bucket::new()).collect(),
+            new_flows: VecDeque::new(),
+            old_flows: VecDeque::new(),
+            total_pkts: 0,
+            total_bytes: 0,
+            stats: AqmStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FqCodelConfig {
+        &self.cfg
+    }
+
+    /// Bucket index for a flow (exposed for tests).
+    pub fn bucket_of(&self, flow: u32) -> usize {
+        // Fibonacci hashing mixed with the per-run salt.
+        let h = (flow as u64 ^ self.cfg.hash_salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.cfg.flows - 1)
+    }
+
+    /// Number of distinct non-empty buckets (diagnostic).
+    pub fn active_buckets(&self) -> usize {
+        self.buckets.iter().filter(|b| !b.queue.is_empty()).count()
+    }
+
+    fn drop_from_fattest(&mut self) -> Option<Packet> {
+        let (idx, _) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.backlog)?;
+        let b = &mut self.buckets[idx];
+        let pkt = b.queue.pop_front()?;
+        b.backlog -= pkt.size as u64;
+        self.total_pkts -= 1;
+        self.total_bytes -= pkt.size as u64;
+        self.stats.dropped_enqueue += 1;
+        Some(pkt)
+    }
+}
+
+impl Aqm for FqCodel {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime, _rng: &mut SmallRng) -> Verdict {
+        let idx = self.bucket_of(pkt.flow.0);
+        pkt.enqueued_at = now;
+        let key = (pkt.flow, pkt.seq, pkt.kind);
+        {
+            let b = &mut self.buckets[idx];
+            b.queue.push_back(pkt);
+            b.backlog += pkt.size as u64;
+            if b.state == ListState::Idle {
+                b.state = ListState::New;
+                b.deficit = self.cfg.quantum as i64;
+                self.new_flows.push_back(idx);
+            }
+        }
+        self.total_pkts += 1;
+        self.total_bytes += pkt.size as u64;
+        self.stats.enqueued += 1;
+
+        let mut own_dropped = false;
+        while self.total_pkts > self.cfg.limit_pkts || self.total_bytes > self.cfg.memory_limit {
+            match self.drop_from_fattest() {
+                Some(d) => {
+                    if (d.flow, d.seq, d.kind) == key {
+                        own_dropped = true;
+                    }
+                }
+                None => break,
+            }
+        }
+        if own_dropped {
+            // The just-enqueued packet itself was evicted.
+            self.stats.enqueued -= 1;
+            Verdict::Dropped
+        } else {
+            Verdict::Enqueued
+        }
+    }
+
+    fn dequeue(&mut self, now: SimTime, _rng: &mut SmallRng) -> DequeueResult {
+        let mut dropped_total = 0u32;
+        loop {
+            let (idx, from_new) = if let Some(&idx) = self.new_flows.front() {
+                (idx, true)
+            } else if let Some(&idx) = self.old_flows.front() {
+                (idx, false)
+            } else {
+                return DequeueResult { pkt: None, dropped: dropped_total };
+            };
+
+            if self.buckets[idx].deficit <= 0 {
+                let q = self.cfg.quantum as i64;
+                let b = &mut self.buckets[idx];
+                b.deficit += q;
+                b.state = ListState::Old;
+                if from_new {
+                    self.new_flows.pop_front();
+                } else {
+                    self.old_flows.pop_front();
+                }
+                self.old_flows.push_back(idx);
+                continue;
+            }
+
+            // Run CoDel on this bucket.
+            let cfg = self.cfg.codel;
+            let popped_bytes = std::cell::Cell::new(0u64);
+            let (pkt, outcome) = {
+                let b = &mut self.buckets[idx];
+                let backlog_ref = std::cell::RefCell::new(&mut b.backlog);
+                let queue_ref = std::cell::RefCell::new(&mut b.queue);
+                let pb = &popped_bytes;
+                let mut pop = || {
+                    let r = queue_ref.borrow_mut().pop_front();
+                    if let Some(ref p) = r {
+                        **backlog_ref.borrow_mut() -= p.size as u64;
+                        pb.set(pb.get() + p.size as u64);
+                    }
+                    r
+                };
+                let backlog_fn = || **backlog_ref.borrow();
+                b.codel.dequeue(&cfg, now, &mut pop, &backlog_fn)
+            };
+            let popped = outcome.dropped as usize + pkt.is_some() as usize;
+            self.total_pkts -= popped;
+            self.total_bytes -= popped_bytes.get();
+            dropped_total += outcome.dropped;
+            self.stats.dropped_dequeue += outcome.dropped as u64;
+            self.stats.marked += outcome.marked as u64;
+
+            match pkt {
+                Some(p) => {
+                    let b = &mut self.buckets[idx];
+                    b.deficit -= p.size as i64;
+                    self.stats.dequeued += 1;
+                    return DequeueResult { pkt: Some(p), dropped: dropped_total };
+                }
+                None => {
+                    // Bucket emptied (possibly after CoDel drops).
+                    let b = &mut self.buckets[idx];
+                    if from_new {
+                        // Move to old list so it keeps its turn if it refills
+                        // within this round (RFC 8290 §4.2.2).
+                        self.new_flows.pop_front();
+                        b.state = ListState::Old;
+                        self.old_flows.push_back(idx);
+                    } else {
+                        self.old_flows.pop_front();
+                        b.state = ListState::Idle;
+                    }
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.total_pkts
+    }
+
+    fn stats(&self) -> AqmStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fq_codel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elephants_netsim::{FlowId, NodeId, SimDuration};
+    use rand::SeedableRng;
+
+    fn pkt(flow: u32, seq: u64, size: u32, t: SimTime) -> Packet {
+        Packet::data(FlowId(flow), NodeId(0), NodeId(1), seq, size, t)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    fn cfg() -> FqCodelConfig {
+        FqCodelConfig::tc_defaults(1_000_000, 1000)
+    }
+
+    #[test]
+    fn single_flow_fifo_order() {
+        let mut q = FqCodel::new(cfg());
+        let mut r = rng();
+        for i in 0..10 {
+            assert_eq!(q.enqueue(pkt(7, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r), Verdict::Enqueued);
+        }
+        for i in 0..10 {
+            let p = q.dequeue(SimTime::ZERO, &mut r).pkt.unwrap();
+            assert_eq!(p.seq, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO, &mut r).pkt.is_none());
+        assert_eq!(q.backlog_bytes(), 0);
+        assert_eq!(q.backlog_pkts(), 0);
+    }
+
+    #[test]
+    fn two_flows_interleave_round_robin() {
+        let mut q = FqCodel::new(cfg());
+        let mut r = rng();
+        // Flow 1 queues 10 packets, flow 2 queues 10 packets, equal sizes.
+        for i in 0..10 {
+            q.enqueue(pkt(1, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        for i in 0..10 {
+            q.enqueue(pkt(2, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        // Service alternates between the flows (quantum = 1 packet here).
+        let mut seen = vec![];
+        for _ in 0..20 {
+            let p = q.dequeue(SimTime::ZERO, &mut r).pkt.unwrap();
+            seen.push(p.flow.0);
+        }
+        let f1_first_half = seen[..10].iter().filter(|&&f| f == 1).count();
+        assert!(
+            (4..=6).contains(&f1_first_half),
+            "flows must interleave, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn heavy_flow_cannot_starve_light_flow() {
+        let mut q = FqCodel::new(cfg());
+        let mut r = rng();
+        // Heavy flow floods; light flow sends one packet afterwards.
+        for i in 0..500 {
+            q.enqueue(pkt(1, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        q.enqueue(pkt(2, 0, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        // The light flow's packet must be served within the first few
+        // dequeues (it sits on the new-flows list).
+        let mut position = None;
+        for i in 0..10 {
+            let p = q.dequeue(SimTime::ZERO, &mut r).pkt.unwrap();
+            if p.flow.0 == 2 {
+                position = Some(i);
+                break;
+            }
+        }
+        assert!(position.is_some() && position.unwrap() <= 2, "light flow served at {position:?}");
+    }
+
+    #[test]
+    fn overflow_drops_from_fattest_flow() {
+        let mut c = cfg();
+        c.limit_pkts = 20;
+        let mut q = FqCodel::new(c);
+        let mut r = rng();
+        // Flow 1 fills most of the queue; flow 2 adds two packets.
+        for i in 0..19 {
+            q.enqueue(pkt(1, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        for i in 0..2 {
+            let v = q.enqueue(pkt(2, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+            // Flow 2's packets survive: the fattest flow (1) takes the hit.
+            assert_eq!(v, Verdict::Enqueued);
+        }
+        assert_eq!(q.backlog_pkts(), 20);
+        assert_eq!(q.stats().dropped_enqueue, 1);
+    }
+
+    #[test]
+    fn memory_limit_enforced() {
+        let mut c = cfg();
+        c.memory_limit = 10_000;
+        c.limit_pkts = usize::MAX >> 1;
+        let mut q = FqCodel::new(c);
+        let mut r = rng();
+        for i in 0..50 {
+            q.enqueue(pkt(1, i, 1000, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        assert!(q.backlog_bytes() <= 10_000);
+    }
+
+    #[test]
+    fn codel_drops_under_sustained_per_flow_delay() {
+        let mut q = FqCodel::new(cfg());
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        for i in 0..800 {
+            q.enqueue(pkt(1, i, 1000, t0), t0, &mut r);
+        }
+        let mut dropped = 0;
+        let mut t = t0 + SimDuration::from_millis(120);
+        for _ in 0..400 {
+            t += SimDuration::from_millis(2);
+            dropped += q.dequeue(t, &mut r).dropped;
+        }
+        assert!(dropped > 0, "per-bucket CoDel must engage");
+        assert_eq!(q.stats().dropped_dequeue as u32, dropped);
+    }
+
+    #[test]
+    fn byte_and_packet_accounting_consistent() {
+        let mut q = FqCodel::new(cfg());
+        let mut r = rng();
+        let t0 = SimTime::ZERO;
+        for f in 0..8 {
+            for i in 0..50 {
+                q.enqueue(pkt(f, i, 500 + 100 * f, t0), t0, &mut r);
+            }
+        }
+        let mut t = t0 + SimDuration::from_millis(150);
+        while q.backlog_pkts() > 0 {
+            t += SimDuration::from_micros(100);
+            q.dequeue(t, &mut r);
+        }
+        assert_eq!(q.backlog_bytes(), 0, "bytes must return to zero");
+        let s = q.stats();
+        assert_eq!(s.enqueued, s.dequeued + s.dropped_dequeue + s.dropped_enqueue);
+    }
+
+    #[test]
+    fn hashing_is_stable_and_salted() {
+        let q1 = FqCodel::new(cfg());
+        assert_eq!(q1.bucket_of(42), q1.bucket_of(42));
+        let mut c2 = cfg();
+        c2.hash_salt = 0xDEAD_BEEF;
+        let q2 = FqCodel::new(c2);
+        // Different salts should move at least some flows.
+        let moved = (0..1000u32).filter(|&f| q1.bucket_of(f) != q2.bucket_of(f)).count();
+        assert!(moved > 900, "salt must perturb the hash ({moved}/1000 moved)");
+    }
+
+    #[test]
+    fn quantum_respects_packet_size_fairness() {
+        // Flow 1 sends big packets, flow 2 small; byte shares should be
+        // approximately equal over a long service sequence.
+        let mut c = cfg();
+        c.quantum = 1000;
+        let mut q = FqCodel::new(c);
+        let mut r = rng();
+        for i in 0..300 {
+            q.enqueue(pkt(1, i, 2000, SimTime::ZERO), SimTime::ZERO, &mut r);
+            q.enqueue(pkt(2, 1000 + i, 500, SimTime::ZERO), SimTime::ZERO, &mut r);
+            q.enqueue(pkt(2, 2000 + i, 500, SimTime::ZERO), SimTime::ZERO, &mut r);
+            q.enqueue(pkt(2, 3000 + i, 500, SimTime::ZERO), SimTime::ZERO, &mut r);
+        }
+        let (mut b1, mut b2) = (0u64, 0u64);
+        for _ in 0..600 {
+            if let Some(p) = q.dequeue(SimTime::ZERO, &mut r).pkt {
+                if p.flow.0 == 1 {
+                    b1 += p.size as u64;
+                } else {
+                    b2 += p.size as u64;
+                }
+            }
+        }
+        let ratio = b1 as f64 / b2 as f64;
+        assert!((0.8..=1.25).contains(&ratio), "byte-fair DRR, ratio {ratio}");
+    }
+}

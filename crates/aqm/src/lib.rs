@@ -1,0 +1,33 @@
+//! # elephants-aqm
+//!
+//! The queue disciplines the paper evaluates on the bottleneck router:
+//!
+//! * **FIFO** — plain droptail ([`elephants_netsim::DropTail`], re-exported
+//!   here for convenience);
+//! * **RED** — Random Early Detection (Floyd & Jacobson 1993) with
+//!   `tc red`-style parameters, including the "gentle" extension;
+//! * **CoDel** — Controlled Delay (Nichols & Jacobson, RFC 8289);
+//! * **FQ-CoDel** — flow-queuing CoDel (RFC 8290): 1024 DRR queues, each
+//!   governed by CoDel, as in `tc fq_codel`.
+//!
+//! All disciplines implement [`elephants_netsim::Aqm`] and are deterministic
+//! given the run RNG.
+//!
+//! The paper's central RED finding — utilization collapse on ≥1 Gbps links —
+//! comes from *unscaled default parameters*: thresholds that are generous at
+//! hundreds of Mbps but a tiny fraction of the BDP at 10–25 Gbps. The
+//! defaults in [`RedConfig`] intentionally mirror that practice (fixed byte
+//! thresholds, not BDP-proportional); see `DESIGN.md`.
+
+pub mod codel;
+pub mod config;
+pub mod fq_codel;
+pub mod pie;
+pub mod red;
+
+pub use codel::{Codel, CodelConfig, CodelState};
+pub use config::{build_aqm, AqmKind};
+pub use elephants_netsim::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
+pub use fq_codel::{FqCodel, FqCodelConfig};
+pub use pie::{Pie, PieConfig};
+pub use red::{Red, RedConfig};

@@ -1,0 +1,438 @@
+//! Random Early Detection (Floyd & Jacobson 1993), `tc red` flavour.
+//!
+//! RED keeps an exponentially-weighted moving average of the queue length
+//! and drops arriving packets with a probability that rises linearly between
+//! a minimum and maximum threshold. The "gentle" extension (on by default,
+//! as in modern `tc red`) extends the linear ramp from `max_p` at `max_th`
+//! to 1.0 at `2 * max_th` instead of cliff-dropping.
+//!
+//! The EWMA decays during idle periods as if small packets had departed, per
+//! the original paper (§Appendix) and `tc red`'s `red_calc_qavg_from_idle_time`.
+
+use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// RED parameters (byte-based, like `tc red`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RedConfig {
+    /// Hard queue limit in bytes.
+    pub limit_bytes: u64,
+    /// Lower threshold on the average queue (bytes): below this, never drop.
+    pub min_th: u64,
+    /// Upper threshold (bytes): at this average the drop probability is `max_p`.
+    pub max_th: u64,
+    /// Drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub w_q: f64,
+    /// Mean packet size used for idle-time decay (avpkt).
+    pub avpkt: u32,
+    /// Link bandwidth in bits/s, used for idle-time decay.
+    pub bandwidth_bps: u64,
+    /// Gentle mode: linear ramp `max_p → 1` between `max_th` and `2*max_th`.
+    pub gentle: bool,
+    /// Mark ECN-capable packets instead of dropping (off in the paper).
+    pub ecn: bool,
+}
+
+impl RedConfig {
+    /// Operator-style defaults, deliberately *not* scaled with the
+    /// bandwidth-delay product.
+    ///
+    /// These mirror the ubiquitous `tc red` examples (fixed byte thresholds
+    /// sized for sub-Gbps links): adequate headroom at 100–500 Mbps, but a
+    /// tiny fraction of the BDP at 10–25 Gbps — which is exactly the
+    /// mis-configuration regime the paper measures.
+    pub fn tc_defaults(limit_bytes: u64, bandwidth_bps: u64, avpkt: u32) -> Self {
+        // Classic guidance: max <= limit/4, min = max/3. But cap the
+        // thresholds at fixed absolute values so they do not grow with
+        // multi-gigabyte high-BDP buffers. The cap follows the canonical
+        // `tc red` examples (min 30 kB / max 90 kB for 1.5 kB packets),
+        // scaled by the jumbo-frame factor: ~0.35 BDP at 100 Mbps but a
+        // sliver of the BDP at 10-25 Gbps, where the aggregate AIMD
+        // sawtooth (~sqrt(n_flows) x per-flow amplitude) repeatedly drains
+        // the queue to empty -- the paper's high-bandwidth RED collapse.
+        let max_th_cap: u64 = 12 * avpkt as u64; // ~107 kB with jumbo frames
+        let max_th = (limit_bytes / 4).min(max_th_cap).max(3 * avpkt as u64);
+        let min_th = (max_th / 3).max(avpkt as u64);
+        // tc derives the EWMA constant from `burst = (2 min + max)/(3 avpkt)`
+        // -- i.e. the filter reacts within a couple dozen packets. At high
+        // packet rates this makes the average track the instantaneous queue
+        // almost exactly, which is the "arrival rate dependency" the paper
+        // calls out.
+        let burst = ((2 * min_th + max_th) as f64 / (3.0 * avpkt as f64)).max(2.0);
+        let w_q = 1.0 - (-1.0 / burst).exp();
+        RedConfig {
+            limit_bytes,
+            min_th,
+            max_th,
+            max_p: 0.02,
+            w_q,
+            avpkt,
+            bandwidth_bps,
+            // tc red is non-gentle unless explicitly configured otherwise;
+            // the hard cliff above max_th (drop *everything* while the
+            // average sits above the threshold) is the arrival-rate
+            // sensitivity the paper's RED findings hinge on.
+            gentle: false,
+            ecn: false,
+        }
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_th >= self.max_th {
+            return Err(format!("RED min_th {} >= max_th {}", self.min_th, self.max_th));
+        }
+        if self.max_th > self.limit_bytes {
+            return Err("RED max_th exceeds limit".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_p) {
+            return Err("RED max_p out of range".into());
+        }
+        if !(self.w_q > 0.0 && self.w_q <= 1.0) {
+            return Err("RED w_q out of range".into());
+        }
+        Ok(())
+    }
+}
+
+/// The RED queue discipline.
+#[derive(Debug)]
+pub struct Red {
+    cfg: RedConfig,
+    queue: VecDeque<Packet>,
+    backlog: u64,
+    /// EWMA of the queue length in bytes.
+    avg: f64,
+    /// Packets enqueued since the last early drop/mark (Floyd's `count`).
+    count_since_drop: u64,
+    /// When the queue went idle (None while busy).
+    idle_since: Option<SimTime>,
+    stats: AqmStats,
+}
+
+impl Red {
+    /// Build a RED queue; panics on invalid config.
+    pub fn new(cfg: RedConfig) -> Self {
+        cfg.validate().expect("invalid RED config");
+        Red {
+            cfg,
+            queue: VecDeque::new(),
+            backlog: 0,
+            avg: 0.0,
+            count_since_drop: 0,
+            idle_since: None,
+            stats: AqmStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RedConfig {
+        &self.cfg
+    }
+
+    /// Current average queue estimate (bytes).
+    pub fn avg_queue(&self) -> f64 {
+        self.avg
+    }
+
+    fn update_avg_on_arrival(&mut self, now: SimTime) {
+        if let Some(idle_start) = self.idle_since.take() {
+            // Decay the average as if `m` average-size packets departed
+            // during the idle period.
+            let idle = now.since(idle_start).as_secs_f64();
+            let pkt_time = (self.cfg.avpkt as f64 * 8.0) / self.cfg.bandwidth_bps as f64;
+            if pkt_time > 0.0 {
+                let m = (idle / pkt_time).min(1e9);
+                self.avg *= (1.0 - self.cfg.w_q).powf(m);
+            }
+        }
+        self.avg += self.cfg.w_q * (self.backlog as f64 - self.avg);
+    }
+
+    /// Early-drop probability for the current average (Floyd's `p_b`),
+    /// before the `count` correction. Exposed for tests.
+    pub fn p_b(&self) -> f64 {
+        let avg = self.avg;
+        let min = self.cfg.min_th as f64;
+        let max = self.cfg.max_th as f64;
+        if avg < min {
+            0.0
+        } else if avg < max {
+            self.cfg.max_p * (avg - min) / (max - min)
+        } else if self.cfg.gentle && avg < 2.0 * max {
+            self.cfg.max_p + (1.0 - self.cfg.max_p) * (avg - max) / max
+        } else {
+            1.0
+        }
+    }
+
+    /// Decide whether to early-drop this arrival.
+    fn should_early_drop(&mut self, rng: &mut SmallRng) -> bool {
+        let p_b = self.p_b();
+        if p_b <= 0.0 {
+            self.count_since_drop = self.count_since_drop.saturating_add(1);
+            return false;
+        }
+        if p_b >= 1.0 {
+            self.count_since_drop = 0;
+            return true;
+        }
+        // Floyd's uniformization: p_a = p_b / (1 - count * p_b), which spaces
+        // drops more evenly than i.i.d. Bernoulli.
+        let denom = 1.0 - self.count_since_drop as f64 * p_b;
+        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        if rng.random::<f64>() < p_a {
+            self.count_since_drop = 0;
+            true
+        } else {
+            self.count_since_drop += 1;
+            false
+        }
+    }
+}
+
+impl Aqm for Red {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime, rng: &mut SmallRng) -> Verdict {
+        self.update_avg_on_arrival(now);
+
+        let early = self.avg >= self.cfg.min_th as f64 && self.should_early_drop(rng);
+        if early {
+            if self.cfg.ecn && pkt.ecn_capable && self.p_b() < 1.0 {
+                pkt.ecn_ce = true;
+                pkt.enqueued_at = now;
+                self.backlog += pkt.size as u64;
+                self.queue.push_back(pkt);
+                self.stats.enqueued += 1;
+                self.stats.marked += 1;
+                return Verdict::Marked;
+            }
+            self.stats.dropped_enqueue += 1;
+            return Verdict::Dropped;
+        }
+        if self.backlog + pkt.size as u64 > self.cfg.limit_bytes {
+            // Hard (tail) drop.
+            self.count_since_drop = 0;
+            self.stats.dropped_enqueue += 1;
+            return Verdict::Dropped;
+        }
+        pkt.enqueued_at = now;
+        self.backlog += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued += 1;
+        Verdict::Enqueued
+    }
+
+    fn dequeue(&mut self, now: SimTime, _rng: &mut SmallRng) -> DequeueResult {
+        match self.queue.pop_front() {
+            Some(pkt) => {
+                self.backlog -= pkt.size as u64;
+                self.stats.dequeued += 1;
+                if self.queue.is_empty() {
+                    self.idle_since = Some(now);
+                }
+                DequeueResult { pkt: Some(pkt), dropped: 0 }
+            }
+            None => {
+                if self.idle_since.is_none() {
+                    self.idle_since = Some(now);
+                }
+                DequeueResult::EMPTY
+            }
+        }
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> AqmStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "red"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elephants_netsim::{FlowId, NodeId};
+    use rand::SeedableRng;
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)
+    }
+
+    fn cfg() -> RedConfig {
+        RedConfig {
+            limit_bytes: 100_000,
+            min_th: 10_000,
+            max_th: 30_000,
+            max_p: 0.02,
+            w_q: 0.2, // fast EWMA so tests converge quickly
+            avpkt: 1000,
+            bandwidth_bps: 10_000_000,
+            gentle: true,
+            ecn: false,
+        }
+    }
+
+    #[test]
+    fn below_min_th_never_drops() {
+        let mut red = Red::new(cfg());
+        let mut rng = SmallRng::seed_from_u64(0);
+        for i in 0..9 {
+            assert_eq!(red.enqueue(pkt(i, 1000), SimTime::ZERO, &mut rng), Verdict::Enqueued);
+        }
+        assert_eq!(red.stats().dropped_enqueue, 0);
+        assert!(red.avg_queue() < 10_000.0);
+    }
+
+    #[test]
+    fn drop_probability_ramps_between_thresholds() {
+        let mut red = Red::new(cfg());
+        red.avg = 20_000.0; // midway between 10k and 30k
+        let p = red.p_b();
+        assert!((p - 0.01).abs() < 1e-12, "p_b={p}");
+        red.avg = 30_000.0;
+        assert!((red.p_b() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gentle_ramp_above_max_th() {
+        let mut red = Red::new(cfg());
+        red.avg = 45_000.0; // max_th*1.5
+        let p = red.p_b();
+        // gentle: 0.02 + 0.98*(45k-30k)/30k = 0.51
+        assert!((p - 0.51).abs() < 1e-9, "p={p}");
+        red.avg = 60_000.0;
+        assert_eq!(red.p_b(), 1.0);
+    }
+
+    #[test]
+    fn non_gentle_cliff_at_max_th() {
+        let mut c = cfg();
+        c.gentle = false;
+        let mut red = Red::new(c);
+        red.avg = 31_000.0;
+        assert_eq!(red.p_b(), 1.0);
+    }
+
+    #[test]
+    fn sustained_overload_produces_early_drops() {
+        let mut red = Red::new(cfg());
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Enqueue far more than we dequeue.
+        let mut t = SimTime::ZERO;
+        let mut accepted = 0u64;
+        for i in 0..200 {
+            t += elephants_netsim::SimDuration::from_micros(10);
+            if red.enqueue(pkt(i, 1000), t, &mut rng) != Verdict::Dropped {
+                accepted += 1;
+            }
+            if i % 4 == 0 {
+                red.dequeue(t, &mut rng);
+            }
+        }
+        assert!(red.stats().dropped_enqueue > 0, "expected early drops");
+        assert!(accepted > 0);
+    }
+
+    #[test]
+    fn hard_limit_enforced() {
+        let mut c = cfg();
+        c.min_th = 90_000;
+        c.max_th = 95_000;
+        let mut red = Red::new(c);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut drops = 0;
+        for i in 0..200 {
+            if red.enqueue(pkt(i, 1000), SimTime::ZERO, &mut rng) == Verdict::Dropped {
+                drops += 1;
+            }
+        }
+        assert!(red.backlog_bytes() <= 100_000);
+        assert!(drops >= 100);
+    }
+
+    #[test]
+    fn idle_decay_reduces_average() {
+        let mut red = Red::new(cfg());
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut t = SimTime::ZERO;
+        for i in 0..8 {
+            red.enqueue(pkt(i, 1000), t, &mut rng);
+        }
+        for _ in 0..8 {
+            red.dequeue(t, &mut rng);
+        }
+        let before = red.avg_queue();
+        assert!(before > 0.0);
+        // One second idle at 10 Mbps with avpkt 1000 = 1250 virtual packets.
+        t += elephants_netsim::SimDuration::from_secs(1);
+        red.enqueue(pkt(100, 1000), t, &mut rng);
+        assert!(red.avg_queue() < before * 0.01, "avg should decay: {} -> {}", before, red.avg_queue());
+    }
+
+    #[test]
+    fn ecn_marks_instead_of_drops() {
+        let mut c = cfg();
+        c.ecn = true;
+        let mut red = Red::new(c);
+        let mut rng = SmallRng::seed_from_u64(3);
+        red.avg = 29_000.0; // near max_th: p_b high
+        let mut marked = 0;
+        for i in 0..500 {
+            let mut p = pkt(i, 100);
+            p.ecn_capable = true;
+            // keep avg pinned high by resetting it (unit-test shortcut)
+            red.avg = 29_000.0;
+            if red.enqueue(p, SimTime::ZERO, &mut rng) == Verdict::Marked {
+                marked += 1;
+            }
+        }
+        assert!(marked > 0);
+        assert_eq!(red.stats().dropped_enqueue, 0);
+        assert_eq!(red.stats().marked, marked);
+    }
+
+    #[test]
+    fn tc_defaults_cap_thresholds() {
+        // Small buffer: proportional thresholds (limit/4 below the cap).
+        let c = RedConfig::tc_defaults(400_000, 100_000_000, 9000);
+        assert_eq!(c.max_th, 100_000);
+        assert_eq!(c.min_th, 33_333);
+        // Huge (16 BDP @ 25G) buffer: capped absolute thresholds — the
+        // unscaled-operator-defaults regime the paper measures.
+        let c = RedConfig::tc_defaults(3_100_000_000, 25_000_000_000, 9000);
+        assert_eq!(c.max_th, 12 * 9000);
+        assert_eq!(c.min_th, 12 * 9000 / 3);
+        assert!(c.validate().is_ok());
+        // w_q is derived from the tc burst formula and sits well above the
+        // classic 0.002 for these small thresholds.
+        assert!(c.w_q > 0.01 && c.w_q < 0.2, "w_q = {}", c.w_q);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let mut c = cfg();
+        c.min_th = c.max_th;
+        assert!(c.validate().is_err());
+        let mut c2 = cfg();
+        c2.max_p = 1.5;
+        assert!(c2.validate().is_err());
+        let mut c3 = cfg();
+        c3.max_th = c3.limit_bytes + 1;
+        assert!(c3.validate().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Ablation benches for design choices called out in DESIGN.md:
+//!
+//! * HyStart on/off — how much does delay-based slow-start exit change
+//!   CUBIC's startup cost (retransmissions) through a shallow buffer?
+//! * BBRv2 `loss_thresh` sensitivity — the 2 % threshold is the lever
+//!   behind the paper's FIFO-vs-RED asymmetry.
+//! * Pacing vs ACK clocking cost in the simulator.
+//!
+//! These are correctness-shaped benches: the measured value is wall time,
+//! but each iteration also returns the metric the ablation is about, so a
+//! regression in *behaviour* shows up as an implausible runtime change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elephants_cca::{BbrV2, BbrV2Config, Cubic, CubicConfig};
+use elephants_netsim::prelude::*;
+use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+
+fn run_cubic(hystart: bool) -> u64 {
+    let bw = Bandwidth::from_mbps(100);
+    let spec = DumbbellSpec::paper(bw);
+    let mut topo = spec.build();
+    let bdp = bdp_bytes(bw, topo.rtt());
+    topo.set_bottleneck_aqm(Box::new(DropTail::new(bdp / 2)));
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig {
+            duration: SimDuration::from_secs(3),
+            warmup: SimDuration::ZERO,
+            max_events: u64::MAX,
+        },
+        5,
+    );
+    let cca = Box::new(Cubic::new(CubicConfig { hystart, ..Default::default() }, 8900));
+    let tx = TcpSender::new(SenderConfig::default(), spec.receiver(0), cca);
+    let rx = TcpReceiver::new(ReceiverConfig::default(), spec.sender(0));
+    let f = sim.add_flow(spec.sender(0), spec.receiver(0), Box::new(tx), Box::new(rx), SimTime::ZERO);
+    let s = sim.run();
+    s.flows[f.0 as usize].sender.retransmits
+}
+
+fn run_bbr2(loss_thresh: f64) -> u64 {
+    let bw = Bandwidth::from_mbps(100);
+    let spec = DumbbellSpec::paper(bw);
+    let mut topo = spec.build();
+    let bdp = bdp_bytes(bw, topo.rtt());
+    topo.set_bottleneck_aqm(Box::new(DropTail::new(bdp / 2)));
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig {
+            duration: SimDuration::from_secs(3),
+            warmup: SimDuration::ZERO,
+            max_events: u64::MAX,
+        },
+        5,
+    );
+    let cca = Box::new(BbrV2::new(BbrV2Config { loss_thresh, ..Default::default() }, 8900));
+    let tx = TcpSender::new(SenderConfig::default(), spec.receiver(0), cca);
+    let rx = TcpReceiver::new(ReceiverConfig::default(), spec.sender(0));
+    let f = sim.add_flow(spec.sender(0), spec.receiver(0), Box::new(tx), Box::new(rx), SimTime::ZERO);
+    let s = sim.run();
+    s.flows[f.0 as usize].sender.retransmits
+}
+
+fn bench_hystart_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("cubic_hystart_on", |b| b.iter(|| run_cubic(true)));
+    g.bench_function("cubic_hystart_off", |b| b.iter(|| run_cubic(false)));
+    g.finish();
+}
+
+fn bench_bbr2_loss_thresh(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    for thresh in [0.02, 0.10] {
+        g.bench_function(format!("bbr2_loss_thresh_{thresh}"), |b| b.iter(|| run_bbr2(thresh)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hystart_ablation, bench_bbr2_loss_thresh);
+criterion_main!(benches);

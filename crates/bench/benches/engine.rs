@@ -1,0 +1,80 @@
+//! Engine micro-benchmarks: event heap, AQM hot paths, end-to-end
+//! simulation throughput (events/second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use elephants_aqm::{build_aqm, AqmKind};
+use elephants_bench::bench_scenario;
+use elephants_cca::CcaKind;
+use elephants_experiments::run_scenario;
+use elephants_netsim::{Event, EventQueue, FlowId, NodeId, Packet, SimTime, TimerKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.schedule(
+                        SimTime::from_nanos((i * 37) % 1_000_000),
+                        Event::Timer {
+                            flow: FlowId(i as u32),
+                            dir: elephants_netsim::Dir::Sender,
+                            kind: TimerKind::Rto,
+                        },
+                    );
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_aqm_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aqm_enqueue_dequeue");
+    for kind in [AqmKind::Fifo, AqmKind::Red, AqmKind::FqCodel, AqmKind::Codel] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut aqm = build_aqm(kind, 10_000_000, 1_000_000_000, 1500, false, 7);
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut now = SimTime::ZERO;
+                let mut delivered = 0u64;
+                for i in 0..10_000u64 {
+                    now += elephants_netsim::SimDuration::from_micros(12);
+                    let pkt = Packet::data(FlowId((i % 64) as u32), NodeId(0), NodeId(1), i, 1500, now);
+                    aqm.enqueue(pkt, now, &mut rng);
+                    if i % 2 == 0
+                        && aqm.dequeue(now, &mut rng).pkt.is_some() {
+                            delivered += 1;
+                        }
+                }
+                delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for (name, cca) in [("cubic", CcaKind::Cubic), ("bbr2", CcaKind::BbrV2)] {
+        g.bench_function(format!("2s_100mbps_{name}"), |b| {
+            let cfg = bench_scenario(cca, CcaKind::Cubic, AqmKind::Fifo, 2.0);
+            b.iter(|| run_scenario(&cfg, 1));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_aqm_hot_path, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the Criterion benches.
+
+use elephants_aqm::AqmKind;
+use elephants_cca::CcaKind;
+use elephants_experiments::{DurationPreset, RunOptions, ScenarioConfig};
+use elephants_netsim::SimDuration;
+
+/// Bench-scale run options: seconds-long simulations.
+pub fn bench_opts() -> RunOptions {
+    RunOptions {
+        preset: DurationPreset::Bench,
+        warmup_frac: 0.25,
+        repeats: 1,
+        flow_scale: 1.0,
+        seed: 1,
+    }
+}
+
+/// A bench-scale scenario on a 100 Mbps bottleneck.
+pub fn bench_scenario(cca1: CcaKind, cca2: CcaKind, aqm: AqmKind, queue_bdp: f64) -> ScenarioConfig {
+    let mut cfg =
+        ScenarioConfig::new(cca1, cca2, aqm, queue_bdp, 100_000_000, &bench_opts());
+    cfg.duration = SimDuration::from_secs(2);
+    cfg.warmup = SimDuration::from_millis(500);
+    cfg
+}

@@ -1,0 +1,739 @@
+//! BBR version 2 (Cardwell et al., IETF 106 v2alpha).
+//!
+//! BBRv2 keeps BBRv1's max-bandwidth / min-RTT model but bounds it with
+//! explicit loss/ECN feedback:
+//!
+//! * `inflight_hi` — the highest inflight volume that did **not** produce a
+//!   loss rate above `loss_thresh` (2 %). Probing that exceeds the threshold
+//!   cuts `inflight_hi` by `beta` (30 %). This is why, in the paper, BBRv2
+//!   under deep-buffer FIFO fares *worse* against CUBIC than BBRv1: CUBIC's
+//!   buffer occupancy forces drop rates over 2 % and BBRv2 backs off, while
+//!   loss-blind BBRv1 holds its ground.
+//! * Under RED's gentle early dropping the per-round loss rate rarely
+//!   crosses 2 %, so BBRv2 (like BBRv1) sails over CUBIC — the paper's RED
+//!   takeover result.
+//! * ProbeBW is restructured into DOWN → CRUISE → REFILL → UP, cruising
+//!   with 15 % headroom below `inflight_hi`.
+
+use crate::filters::WindowedMaxByRound;
+use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
+use elephants_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// BBRv2 tuning constants (defaults follow the v2alpha kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BbrV2Config {
+    /// Startup/Drain pacing gain.
+    pub high_gain: f64,
+    /// Steady-state cwnd gain.
+    pub cwnd_gain: f64,
+    /// ProbeBW UP pacing gain.
+    pub up_gain: f64,
+    /// ProbeBW DOWN pacing gain.
+    pub down_gain: f64,
+    /// Loss-rate threshold that marks inflight "too high" (2 %).
+    pub loss_thresh: f64,
+    /// Multiplicative cut applied to `inflight_hi` on excessive loss.
+    pub beta: f64,
+    /// Headroom kept below `inflight_hi` while cruising (15 %).
+    pub headroom: f64,
+    /// Max-bandwidth filter window, in rounds.
+    pub bw_window_rounds: u64,
+    /// Min-RTT validity window (BBRv2 probes RTT every 5 s).
+    pub rtprop_window: SimDuration,
+    /// Time at the reduced window in ProbeRTT.
+    pub probe_rtt_duration: SimDuration,
+    /// Base wait in CRUISE before the next bandwidth probe.
+    pub probe_wait_base: SimDuration,
+    /// Random extra wait added to `probe_wait_base` (0..this).
+    pub probe_wait_rand: SimDuration,
+    /// Rounds of <25 % growth that mark the pipe full in Startup.
+    pub full_bw_count: u32,
+    /// Growth threshold for the pipe-full check.
+    pub full_bw_thresh: f64,
+    /// ECN CE-fraction threshold treated like excessive loss.
+    pub ecn_thresh: f64,
+    /// Seed for deterministic probe scheduling.
+    pub seed: u64,
+}
+
+impl Default for BbrV2Config {
+    fn default() -> Self {
+        BbrV2Config {
+            high_gain: 2.885,
+            cwnd_gain: 2.0,
+            up_gain: 1.25,
+            down_gain: 0.75,
+            loss_thresh: 0.02,
+            beta: 0.3,
+            headroom: 0.15,
+            bw_window_rounds: 10,
+            rtprop_window: SimDuration::from_secs(5),
+            probe_rtt_duration: SimDuration::from_millis(200),
+            probe_wait_base: SimDuration::from_secs(2),
+            probe_wait_rand: SimDuration::from_secs(1),
+            full_bw_count: 3,
+            full_bw_thresh: 1.25,
+            ecn_thresh: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Top-level BBRv2 mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bbr2Mode {
+    /// Exponential bandwidth search.
+    Startup,
+    /// Queue drain after Startup.
+    Drain,
+    /// Steady state (with a [`ProbePhase`]).
+    ProbeBw,
+    /// Floor-RTT re-measurement.
+    ProbeRtt,
+}
+
+/// ProbeBW sub-phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePhase {
+    /// Deflate the queue (gain 0.75).
+    Down,
+    /// Cruise with headroom (gain 1.0).
+    Cruise,
+    /// Refill the pipe to `inflight_hi` (gain 1.0).
+    Refill,
+    /// Probe for more bandwidth (gain 1.25).
+    Up,
+}
+
+/// The BBRv2 congestion controller.
+#[derive(Debug, Clone)]
+pub struct BbrV2 {
+    cfg: BbrV2Config,
+    mss: u64,
+    mode: Bbr2Mode,
+    phase: ProbePhase,
+    cwnd: u64,
+    prior_cwnd: u64,
+    pacing_gain: f64,
+    // Model.
+    bw_filter: WindowedMaxByRound,
+    rtprop: SimDuration,
+    rtprop_stamp: SimTime,
+    rtprop_valid: bool,
+    rtprop_expired: bool,
+    round_count: u64,
+    // Inflight bounds.
+    inflight_hi: u64,
+    // Per-round loss/ECN accounting.
+    loss_in_round: u64,
+    delivered_in_round: u64,
+    ce_in_round: u64,
+    loss_events_in_round: u32,
+    loss_round_rate: f64,
+    loss_round_events: u32,
+    ce_round_rate: f64,
+    // Startup full-pipe detection.
+    full_bw: u64,
+    full_bw_cnt: u32,
+    full_pipe: bool,
+    // Phase clocks.
+    phase_stamp: SimTime,
+    cruise_wait: SimDuration,
+    refill_round: u64,
+    up_rounds: u32,
+    // ProbeRTT bookkeeping.
+    probe_rtt_done_stamp: Option<SimTime>,
+    probe_rtt_round_done: bool,
+    probe_rtt_enter_round: u64,
+    rng_state: u64,
+}
+
+impl BbrV2 {
+    /// A fresh BBRv2 controller with IW10.
+    pub fn new(cfg: BbrV2Config, mss: u32) -> Self {
+        let mss = mss as u64;
+        BbrV2 {
+            mss,
+            mode: Bbr2Mode::Startup,
+            phase: ProbePhase::Cruise,
+            cwnd: INITIAL_CWND_SEGMENTS * mss,
+            prior_cwnd: 0,
+            pacing_gain: cfg.high_gain,
+            bw_filter: WindowedMaxByRound::new(cfg.bw_window_rounds),
+            rtprop: SimDuration::MAX,
+            rtprop_stamp: SimTime::ZERO,
+            rtprop_valid: false,
+            rtprop_expired: false,
+            round_count: 0,
+            inflight_hi: u64::MAX,
+            loss_in_round: 0,
+            delivered_in_round: 0,
+            ce_in_round: 0,
+            loss_events_in_round: 0,
+            loss_round_rate: 0.0,
+            loss_round_events: 0,
+            ce_round_rate: 0.0,
+            full_bw: 0,
+            full_bw_cnt: 0,
+            full_pipe: false,
+            phase_stamp: SimTime::ZERO,
+            cruise_wait: cfg.probe_wait_base,
+            refill_round: 0,
+            up_rounds: 0,
+            probe_rtt_done_stamp: None,
+            probe_rtt_round_done: false,
+            probe_rtt_enter_round: 0,
+            rng_state: cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            cfg,
+        }
+    }
+
+    /// Current mode (test hook).
+    pub fn mode(&self) -> Bbr2Mode {
+        self.mode
+    }
+
+    /// Current ProbeBW phase (test hook).
+    pub fn phase(&self) -> ProbePhase {
+        self.phase
+    }
+
+    /// Current `inflight_hi` bound in bytes (`u64::MAX` = unset).
+    pub fn inflight_hi(&self) -> u64 {
+        self.inflight_hi
+    }
+
+    /// Bottleneck bandwidth estimate (bits/s).
+    pub fn btlbw(&self) -> Option<u64> {
+        self.bw_filter.get()
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn min_pipe_cwnd(&self) -> u64 {
+        4 * self.mss
+    }
+
+    fn bdp_bytes(&self, gain: f64) -> u64 {
+        let (Some(bw), true) = (self.bw_filter.get(), self.rtprop_valid) else {
+            return INITIAL_CWND_SEGMENTS * self.mss;
+        };
+        ((gain * bw as f64 * self.rtprop.as_secs_f64() / 8.0) as u64).max(self.min_pipe_cwnd())
+    }
+
+    fn update_model(&mut self, ev: &AckEvent) {
+        if ev.round_start {
+            // Commit the finished round's loss/CE rates.
+            if self.delivered_in_round > 0 {
+                self.loss_round_rate = self.loss_in_round as f64 / self.delivered_in_round as f64;
+                self.loss_round_events = self.loss_events_in_round;
+                self.ce_round_rate = self.ce_in_round as f64 / self.delivered_in_round as f64;
+            }
+            self.loss_in_round = 0;
+            self.delivered_in_round = 0;
+            self.ce_in_round = 0;
+            self.loss_events_in_round = 0;
+            self.round_count += 1;
+        }
+        self.loss_in_round += ev.newly_lost;
+        if ev.newly_lost > 0 {
+            self.loss_events_in_round += 1;
+        }
+        self.delivered_in_round += ev.newly_acked;
+        if ev.ecn_ce {
+            self.ce_in_round += ev.newly_acked;
+        }
+        if let Some(rate) = ev.delivery_rate {
+            if !ev.app_limited || Some(rate) >= self.bw_filter.get() {
+                self.bw_filter.update(self.round_count, rate);
+            }
+        }
+        let expired = self.rtprop_valid && ev.now.since(self.rtprop_stamp) > self.cfg.rtprop_window;
+        self.rtprop_expired = expired;
+        if !self.rtprop_valid || ev.rtt <= self.rtprop || expired {
+            self.rtprop = ev.rtt;
+            self.rtprop_stamp = ev.now;
+            self.rtprop_valid = true;
+        }
+    }
+
+    /// Whether recent loss/ECN says the inflight volume is too high.
+    ///
+    /// Mirrors the v2alpha robustness gating: a handful of isolated losses
+    /// must NOT trigger a cut (that is the RED regime where BBRv2 is meant
+    /// to sail on); only a loss *rate* above `loss_thresh` backed by at
+    /// least `LOSS_EVENTS_MIN` distinct loss events in the round counts.
+    fn inflight_too_high(&self) -> bool {
+        const LOSS_EVENTS_MIN: u32 = 4;
+        let committed = self.loss_round_events >= LOSS_EVENTS_MIN
+            && self.loss_round_rate > self.cfg.loss_thresh;
+        let live = self.loss_events_in_round >= LOSS_EVENTS_MIN
+            && self.delivered_in_round > 16 * self.mss
+            && (self.loss_in_round as f64
+                > self.cfg.loss_thresh * self.delivered_in_round as f64);
+        let ecn = self.ce_round_rate > self.cfg.ecn_thresh;
+        committed || live || ecn
+    }
+
+    /// Cut `inflight_hi` after probing too hard (v2alpha
+    /// `bbr2_handle_inflight_too_high`).
+    fn handle_inflight_too_high(&mut self, ev: &AckEvent) {
+        let base = ev.inflight.max(self.bdp_bytes(1.0));
+        self.inflight_hi = ((base as f64 * (1.0 - self.cfg.beta)) as u64).max(self.min_pipe_cwnd());
+        // Reset the live counters so one bad round is punished once.
+        self.loss_round_rate = 0.0;
+        self.loss_round_events = 0;
+        self.loss_in_round = 0;
+        self.delivered_in_round = 0;
+        self.ce_in_round = 0;
+        self.loss_events_in_round = 0;
+    }
+
+    fn enter_phase(&mut self, phase: ProbePhase, now: SimTime) {
+        self.phase = phase;
+        self.phase_stamp = now;
+        self.pacing_gain = match phase {
+            ProbePhase::Down => self.cfg.down_gain,
+            ProbePhase::Cruise | ProbePhase::Refill => 1.0,
+            ProbePhase::Up => self.cfg.up_gain,
+        };
+        match phase {
+            ProbePhase::Cruise => {
+                let extra = self.cfg.probe_wait_rand.as_nanos();
+                let r = if extra > 0 { self.next_rand() % extra } else { 0 };
+                self.cruise_wait = self.cfg.probe_wait_base + SimDuration::from_nanos(r);
+            }
+            ProbePhase::Refill => {
+                self.refill_round = self.round_count;
+            }
+            ProbePhase::Up => {
+                self.up_rounds = 0;
+            }
+            ProbePhase::Down => {}
+        }
+    }
+
+    fn probe_bw_step(&mut self, ev: &AckEvent) {
+        match self.phase {
+            ProbePhase::Down => {
+                // Leave once the queue we built is drained.
+                if ev.inflight <= self.bdp_bytes(1.0)
+                    || ev.now.since(self.phase_stamp) > self.rtprop * 2
+                {
+                    self.enter_phase(ProbePhase::Cruise, ev.now);
+                }
+            }
+            ProbePhase::Cruise => {
+                if ev.now.since(self.phase_stamp) >= self.cruise_wait {
+                    self.enter_phase(ProbePhase::Refill, ev.now);
+                }
+            }
+            ProbePhase::Refill => {
+                // One full round of refilling, then probe up.
+                if self.round_count > self.refill_round {
+                    self.enter_phase(ProbePhase::Up, ev.now);
+                }
+            }
+            ProbePhase::Up => {
+                if self.inflight_too_high() {
+                    self.handle_inflight_too_high(ev);
+                    self.enter_phase(ProbePhase::Down, ev.now);
+                    return;
+                }
+                if ev.round_start {
+                    self.up_rounds += 1;
+                    // Probing sustained without excessive loss: raise the
+                    // ceiling so the next cruise can use what we found.
+                    if self.inflight_hi != u64::MAX && ev.inflight >= self.inflight_hi {
+                        let step = self.mss << self.up_rounds.min(12);
+                        self.inflight_hi = self.inflight_hi.saturating_add(step);
+                    }
+                }
+                if ev.now.since(self.phase_stamp) > self.rtprop
+                    && ev.inflight >= self.bdp_bytes(self.cfg.up_gain)
+                {
+                    self.enter_phase(ProbePhase::Down, ev.now);
+                }
+            }
+        }
+    }
+
+    fn check_probe_rtt(&mut self, ev: &AckEvent) {
+        if self.mode != Bbr2Mode::ProbeRtt && self.rtprop_valid && self.rtprop_expired {
+            self.mode = Bbr2Mode::ProbeRtt;
+            self.pacing_gain = 1.0;
+            self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+            self.probe_rtt_done_stamp = None;
+            self.probe_rtt_round_done = false;
+            self.probe_rtt_enter_round = self.round_count;
+        }
+        if self.mode == Bbr2Mode::ProbeRtt {
+            let floor = self.probe_rtt_cwnd();
+            if self.probe_rtt_done_stamp.is_none() && ev.inflight <= floor {
+                self.probe_rtt_done_stamp = Some(ev.now + self.cfg.probe_rtt_duration);
+            }
+            if ev.round_start && self.round_count > self.probe_rtt_enter_round {
+                self.probe_rtt_round_done = true;
+            }
+            if let Some(done) = self.probe_rtt_done_stamp {
+                if self.probe_rtt_round_done && ev.now >= done {
+                    self.rtprop_stamp = ev.now;
+                    self.cwnd = self.cwnd.max(self.prior_cwnd);
+                    if self.full_pipe {
+                        self.mode = Bbr2Mode::ProbeBw;
+                        self.enter_phase(ProbePhase::Cruise, ev.now);
+                    } else {
+                        self.mode = Bbr2Mode::Startup;
+                        self.pacing_gain = self.cfg.high_gain;
+                    }
+                }
+            }
+        }
+    }
+
+    /// ProbeRTT window floor: half the estimated BDP (v2 probes less
+    /// brutally than v1's 4-segment floor).
+    fn probe_rtt_cwnd(&self) -> u64 {
+        (self.bdp_bytes(0.5)).max(self.min_pipe_cwnd())
+    }
+
+    fn check_full_pipe(&mut self, ev: &AckEvent) {
+        if self.full_pipe || !ev.round_start || ev.app_limited {
+            return;
+        }
+        let Some(bw) = self.bw_filter.get() else { return };
+        if bw as f64 >= self.full_bw as f64 * self.cfg.full_bw_thresh {
+            self.full_bw = bw;
+            self.full_bw_cnt = 0;
+            return;
+        }
+        self.full_bw_cnt += 1;
+        if self.full_bw_cnt >= self.cfg.full_bw_count {
+            self.full_pipe = true;
+        }
+    }
+
+    fn effective_inflight_cap(&self) -> u64 {
+        if self.inflight_hi == u64::MAX {
+            return u64::MAX;
+        }
+        match (self.mode, self.phase) {
+            // Cruise keeps headroom below the ceiling so other flows can
+            // probe (v2alpha `bbr2_inflight_with_headroom`).
+            (Bbr2Mode::ProbeBw, ProbePhase::Cruise) => {
+                ((self.inflight_hi as f64 * (1.0 - self.cfg.headroom)) as u64)
+                    .max(self.min_pipe_cwnd())
+            }
+            _ => self.inflight_hi,
+        }
+    }
+
+    fn set_cwnd(&mut self, ev: &AckEvent) {
+        if self.mode == Bbr2Mode::ProbeRtt {
+            self.cwnd = self.cwnd.min(self.probe_rtt_cwnd());
+            return;
+        }
+        let target = self.bdp_bytes(self.cfg.cwnd_gain).min(self.effective_inflight_cap());
+        if self.full_pipe {
+            self.cwnd = (self.cwnd + ev.newly_acked).min(target);
+        } else if self.cwnd < target {
+            self.cwnd += ev.newly_acked;
+        }
+        self.cwnd = self.cwnd.max(self.min_pipe_cwnd());
+    }
+}
+
+impl CongestionControl for BbrV2 {
+    fn name(&self) -> &'static str {
+        "bbr2"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent, _in_recovery: bool) {
+        self.update_model(ev);
+
+        match self.mode {
+            Bbr2Mode::Startup => {
+                self.check_full_pipe(ev);
+                // v2 also leaves Startup when loss says inflight is too high.
+                if !self.full_pipe && self.inflight_too_high() {
+                    self.full_pipe = true;
+                    self.handle_inflight_too_high(ev);
+                }
+                if self.full_pipe {
+                    self.mode = Bbr2Mode::Drain;
+                    self.pacing_gain = 1.0 / self.cfg.high_gain;
+                }
+            }
+            Bbr2Mode::Drain => {
+                if ev.inflight <= self.bdp_bytes(1.0) {
+                    self.mode = Bbr2Mode::ProbeBw;
+                    self.enter_phase(ProbePhase::Cruise, ev.now);
+                }
+            }
+            Bbr2Mode::ProbeBw => self.probe_bw_step(ev),
+            Bbr2Mode::ProbeRtt => {}
+        }
+        self.check_probe_rtt(ev);
+        self.set_cwnd(ev);
+    }
+
+    fn on_loss_event(&mut self, ev: &LossEvent) {
+        // Outside of deliberate probing, a loss episode that crosses the
+        // threshold still cuts the ceiling (e.g. FIFO overflow caused by a
+        // competing CUBIC flow filling the buffer).
+        if self.inflight_too_high() {
+            let ack_view = AckEvent {
+                now: ev.now,
+                rtt: self.rtprop,
+                min_rtt: ev.min_rtt,
+                srtt: self.rtprop,
+                newly_acked: 0,
+                newly_lost: 0,
+                inflight: ev.inflight,
+                delivery_rate: None,
+                app_limited: false,
+                delivered: ev.delivered,
+                round_start: false,
+                ecn_ce: false,
+                is_app_limited_now: false,
+            };
+            self.handle_inflight_too_high(&ack_view);
+            if self.mode == Bbr2Mode::ProbeBw && self.phase != ProbePhase::Down {
+                self.enter_phase(ProbePhase::Down, ev.now);
+            }
+        }
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.prior_cwnd = self.prior_cwnd.max(self.cwnd);
+        self.cwnd = self.mss;
+    }
+
+    fn on_spurious_rto(&mut self, _now: SimTime) {
+        if self.prior_cwnd > 0 {
+            self.cwnd = self.cwnd.max(self.prior_cwnd);
+            self.prior_cwnd = 0;
+        }
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        if self.prior_cwnd > 0 {
+            self.cwnd = self.cwnd.max(self.prior_cwnd);
+            self.prior_cwnd = 0;
+        }
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<u64> {
+        match self.bw_filter.get() {
+            Some(bw) => Some((self.pacing_gain * bw as f64) as u64),
+            None => {
+                let iw_bits = (INITIAL_CWND_SEGMENTS * self.mss * 8) as f64;
+                Some((self.cfg.high_gain * iw_bits / 0.001) as u64)
+            }
+        }
+    }
+
+    fn ssthresh(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.mode == Bbr2Mode::Startup
+    }
+
+    fn bw_estimate(&self) -> Option<u64> {
+        self.bw_filter.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1000;
+
+    struct AckFeeder {
+        now: SimTime,
+        delivered: u64,
+    }
+
+    impl AckFeeder {
+        fn new() -> Self {
+            AckFeeder { now: SimTime::ZERO, delivered: 0 }
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn ev(
+            &mut self,
+            advance_ms: u64,
+            rate_mbps: u64,
+            rtt_ms: u64,
+            inflight: u64,
+            round_start: bool,
+            newly_lost: u64,
+        ) -> AckEvent {
+            self.now += SimDuration::from_millis(advance_ms);
+            self.delivered += MSS as u64;
+            AckEvent {
+                now: self.now,
+                rtt: SimDuration::from_millis(rtt_ms),
+                min_rtt: SimDuration::from_millis(rtt_ms),
+                srtt: SimDuration::from_millis(rtt_ms),
+                newly_acked: MSS as u64,
+                newly_lost,
+                inflight,
+                delivery_rate: Some(rate_mbps * 1_000_000),
+                app_limited: false,
+                delivered: self.delivered,
+                round_start,
+                ecn_ce: false,
+                is_app_limited_now: false,
+            }
+        }
+    }
+
+    fn drive_to_probe_bw(b: &mut BbrV2, f: &mut AckFeeder) {
+        for _ in 0..2 {
+            b.on_ack(&f.ev(10, 40, 50, 300_000, true, 0), false);
+        }
+        for _ in 0..4 {
+            b.on_ack(&f.ev(10, 40, 50, 300_000, true, 0), false);
+        }
+        assert_eq!(b.mode(), Bbr2Mode::Drain);
+        b.on_ack(&f.ev(10, 40, 50, 200_000, false, 0), false);
+        assert_eq!(b.mode(), Bbr2Mode::ProbeBw);
+        assert_eq!(b.phase(), ProbePhase::Cruise);
+    }
+
+    #[test]
+    fn startup_to_drain_to_probe_bw() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        assert_eq!(b.mode(), Bbr2Mode::Startup);
+        drive_to_probe_bw(&mut b, &mut f);
+    }
+
+    #[test]
+    fn cruise_waits_then_refills_then_probes_up() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        // Cruise for up to 3 s (base 2 s + rand 1 s).
+        let mut phases = vec![];
+        for _ in 0..80 {
+            b.on_ack(&f.ev(50, 40, 50, 240_000, true, 0), false);
+            phases.push(b.phase());
+        }
+        assert!(phases.contains(&ProbePhase::Refill), "{phases:?}");
+        assert!(phases.contains(&ProbePhase::Up), "{phases:?}");
+    }
+
+    #[test]
+    fn excessive_loss_in_up_cuts_inflight_hi_and_goes_down() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        // Walk to UP.
+        for _ in 0..80 {
+            b.on_ack(&f.ev(50, 40, 50, 240_000, true, 0), false);
+            if b.phase() == ProbePhase::Up {
+                break;
+            }
+        }
+        assert_eq!(b.phase(), ProbePhase::Up);
+        // A round with ~10 % loss (well over the 2 % threshold).
+        for _ in 0..10 {
+            b.on_ack(&f.ev(5, 40, 50, 300_000, false, 100), false);
+        }
+        b.on_ack(&f.ev(5, 40, 50, 300_000, true, 100), false);
+        assert_eq!(b.phase(), ProbePhase::Down, "must bail out of UP");
+        let hi = b.inflight_hi();
+        assert!(hi < 300_000, "inflight_hi must be cut, got {hi}");
+        // Cut is (1-beta) = 0.7 of max(inflight, BDP).
+        let bdp = 40_000_000u64 / 8 / 20;
+        let expect = (300_000f64.max(bdp as f64) * 0.7) as u64;
+        assert!((hi as i64 - expect as i64).abs() < 2 * MSS as i64, "hi={hi} expect≈{expect}");
+    }
+
+    #[test]
+    fn small_loss_rates_are_tolerated() {
+        // ~1 % loss: below the 2 % threshold, no cut — this is the RED
+        // regime where BBRv2 dominates CUBIC in the paper.
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        for i in 0..300 {
+            let lost = if i % 100 == 0 { MSS as u64 } else { 0 };
+            b.on_ack(&f.ev(5, 40, 50, 240_000, i % 25 == 0, lost), false);
+        }
+        assert_eq!(b.inflight_hi(), u64::MAX, "1% loss must not cut inflight_hi");
+    }
+
+    #[test]
+    fn cruise_keeps_headroom_below_inflight_hi() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        // Force a known ceiling.
+        b.inflight_hi = 100_000;
+        b.enter_phase(ProbePhase::Cruise, f.now);
+        for _ in 0..50 {
+            b.on_ack(&f.ev(5, 40, 50, 80_000, false, 0), false);
+        }
+        assert!(b.cwnd() <= 85_000, "cruise cwnd {} must respect 15% headroom", b.cwnd());
+    }
+
+    #[test]
+    fn startup_exits_on_excessive_loss() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        // One clean round, then a sustained very lossy stretch (enough
+        // delivered data and distinct loss events to clear the robustness
+        // gates).
+        b.on_ack(&f.ev(10, 40, 50, 100_000, true, 0), false);
+        for _ in 0..30 {
+            b.on_ack(&f.ev(2, 40, 50, 100_000, false, 200), false);
+        }
+        assert_ne!(b.mode(), Bbr2Mode::Startup, "loss must end startup");
+        assert!(b.inflight_hi() < u64::MAX);
+    }
+
+    #[test]
+    fn rto_and_recovery_round_trip() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        let before = b.cwnd();
+        b.on_rto(f.now);
+        assert_eq!(b.cwnd(), MSS as u64);
+        b.on_recovery_exit(f.now);
+        assert!(b.cwnd() >= before);
+    }
+
+    #[test]
+    fn probe_rtt_uses_half_bdp_floor() {
+        let mut b = BbrV2::new(BbrV2Config::default(), MSS);
+        let mut f = AckFeeder::new();
+        drive_to_probe_bw(&mut b, &mut f);
+        // Stale the 5 s window.
+        for _ in 0..60 {
+            b.on_ack(&f.ev(100, 40, 60, 240_000, false, 0), false);
+        }
+        assert_eq!(b.mode(), Bbr2Mode::ProbeRtt);
+        // Floor is 0.5 * BDP = 125 kB, not 4 segments.
+        assert!(b.cwnd() >= 4 * MSS as u64);
+        assert!(b.cwnd() <= 130_000, "cwnd {}", b.cwnd());
+    }
+}

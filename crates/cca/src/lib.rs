@@ -1,0 +1,252 @@
+//! # elephants-cca
+//!
+//! From-scratch implementations of the five TCP congestion-control
+//! algorithms the paper studies:
+//!
+//! | CCA | Source | Character |
+//! |-----|--------|-----------|
+//! | [`Reno`] | RFC 5681 / Jacobson 1988 | loss-based AIMD |
+//! | [`Cubic`] | Ha, Rhee & Xu 2008, RFC 8312 (+ HyStart) | loss-based, cubic growth |
+//! | [`Htcp`] | Leith & Shorten 2004 | loss-based, adaptive AIMD for high BDP |
+//! | [`BbrV1`] | Cardwell et al. 2017 | model-based (max-bw / min-rtt) |
+//! | [`BbrV2`] | Cardwell et al. 2019 (v2alpha) | model-based + loss/ECN bounds |
+//!
+//! The algorithms are pure state machines behind the [`CongestionControl`]
+//! trait: the `elephants-tcp` crate feeds them [`AckEvent`]s (with delivery
+//! -rate samples, RACK-style loss counts and round markers) and reads back
+//! `cwnd()` / `pacing_rate()`. Nothing here depends on the simulator's event
+//! loop, which makes each algorithm unit-testable in isolation.
+
+pub mod bbr1;
+pub mod bbr2;
+pub mod cubic;
+pub mod filters;
+pub mod htcp;
+pub mod reno;
+
+pub use bbr1::{BbrV1, BbrV1Config};
+pub use bbr2::{BbrV2, BbrV2Config};
+pub use cubic::{Cubic, CubicConfig};
+pub use filters::{WindowedMaxByRound, WindowedMinByTime};
+pub use htcp::{Htcp, HtcpConfig};
+pub use reno::Reno;
+
+use elephants_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Everything a congestion controller learns from one incoming ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// Arrival time of the ACK.
+    pub now: SimTime,
+    /// RTT sample carried by this ACK (most recently acked segment).
+    pub rtt: SimDuration,
+    /// Connection-lifetime minimum RTT.
+    pub min_rtt: SimDuration,
+    /// Smoothed RTT.
+    pub srtt: SimDuration,
+    /// Bytes newly acknowledged (cumulative + SACK) by this ACK.
+    pub newly_acked: u64,
+    /// Bytes newly marked lost while processing this ACK.
+    pub newly_lost: u64,
+    /// Bytes in flight *after* processing this ACK.
+    pub inflight: u64,
+    /// Delivery-rate sample (bits/s), if the rate sampler produced one.
+    pub delivery_rate: Option<u64>,
+    /// Whether the delivery-rate sample was application-limited.
+    pub app_limited: bool,
+    /// Total bytes delivered over the connection so far.
+    pub delivered: u64,
+    /// True when this ACK starts a new round trip (packet sent after the
+    /// previous round's end was acked).
+    pub round_start: bool,
+    /// The receiver echoed an ECN Congestion Experienced mark.
+    pub ecn_ce: bool,
+    /// Whether the sender currently has less data to send than cwnd allows.
+    pub is_app_limited_now: bool,
+}
+
+/// A fast-retransmit-triggering loss episode (once per recovery).
+#[derive(Debug, Clone, Copy)]
+pub struct LossEvent {
+    /// When recovery began.
+    pub now: SimTime,
+    /// Bytes in flight when the loss was detected.
+    pub inflight: u64,
+    /// Bytes delivered so far (for throughput estimates).
+    pub delivered: u64,
+    /// Connection minimum RTT.
+    pub min_rtt: SimDuration,
+    /// Maximum RTT seen since the previous loss event.
+    pub max_rtt_epoch: SimDuration,
+}
+
+/// A TCP congestion-control algorithm.
+///
+/// All byte quantities are real bytes; `mss` is fixed per connection.
+pub trait CongestionControl: Send {
+    /// Algorithm name (e.g. `"cubic"`).
+    fn name(&self) -> &'static str;
+
+    /// Process an incoming ACK. Called for every ACK, including during
+    /// recovery (implementations may ignore growth while `in_recovery`).
+    fn on_ack(&mut self, ev: &AckEvent, in_recovery: bool);
+
+    /// A new loss episode detected via duplicate ACKs / SACK (fast
+    /// retransmit); called once per episode.
+    fn on_loss_event(&mut self, ev: &LossEvent);
+
+    /// Retransmission timeout fired.
+    fn on_rto(&mut self, now: SimTime);
+
+    /// The last RTO was detected to be spurious (F-RTO/Eifel): the
+    /// "lost" flight was merely delayed. Implementations should undo the
+    /// window collapse.
+    fn on_spurious_rto(&mut self, _now: SimTime) {}
+
+    /// Recovery completed (all losses repaired).
+    fn on_recovery_exit(&mut self, now: SimTime);
+
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u64;
+
+    /// Current pacing rate in bits/s; `None` means pure ACK clocking.
+    fn pacing_rate(&self) -> Option<u64>;
+
+    /// Slow-start threshold in bytes (`u64::MAX` when untouched).
+    fn ssthresh(&self) -> u64;
+
+    /// Whether the algorithm considers itself in slow start / startup.
+    fn in_slow_start(&self) -> bool;
+
+    /// Estimated bottleneck bandwidth (bits/s), for model-based CCAs.
+    fn bw_estimate(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Which congestion controller to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcaKind {
+    /// TCP Reno.
+    Reno,
+    /// TCP CUBIC (Linux default).
+    Cubic,
+    /// Hamilton TCP.
+    Htcp,
+    /// BBR version 1.
+    BbrV1,
+    /// BBR version 2 (v2alpha).
+    BbrV2,
+}
+
+impl CcaKind {
+    /// The five CCAs in the paper's grid.
+    pub const ALL: [CcaKind; 5] =
+        [CcaKind::BbrV1, CcaKind::BbrV2, CcaKind::Htcp, CcaKind::Reno, CcaKind::Cubic];
+
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcaKind::Reno => "reno",
+            CcaKind::Cubic => "cubic",
+            CcaKind::Htcp => "htcp",
+            CcaKind::BbrV1 => "bbr1",
+            CcaKind::BbrV2 => "bbr2",
+        }
+    }
+
+    /// Paper-style display name.
+    pub fn pretty(self) -> &'static str {
+        match self {
+            CcaKind::Reno => "Reno",
+            CcaKind::Cubic => "CUBIC",
+            CcaKind::Htcp => "HTCP",
+            CcaKind::BbrV1 => "BBRv1",
+            CcaKind::BbrV2 => "BBRv2",
+        }
+    }
+}
+
+impl std::fmt::Display for CcaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for CcaKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "reno" => Ok(CcaKind::Reno),
+            "cubic" => Ok(CcaKind::Cubic),
+            "htcp" | "h-tcp" => Ok(CcaKind::Htcp),
+            "bbr1" | "bbrv1" | "bbr" => Ok(CcaKind::BbrV1),
+            "bbr2" | "bbrv2" => Ok(CcaKind::BbrV2),
+            other => Err(format!("unknown CCA '{other}'")),
+        }
+    }
+}
+
+/// Instantiate a congestion controller.
+pub fn build_cca(kind: CcaKind, mss: u32) -> Box<dyn CongestionControl> {
+    build_cca_seeded(kind, mss, 0)
+}
+
+/// Instantiate a congestion controller with a per-flow seed.
+///
+/// The seed only feeds the BBR probe-phase randomizers (ProbeBW cycle phase
+/// in v1, cruise-wait jitter in v2); giving each flow a distinct seed avoids
+/// the artificial probe synchronization a shared default would create.
+pub fn build_cca_seeded(kind: CcaKind, mss: u32, seed: u64) -> Box<dyn CongestionControl> {
+    match kind {
+        CcaKind::Reno => Box::new(Reno::new(mss)),
+        CcaKind::Cubic => Box::new(Cubic::new(CubicConfig::default(), mss)),
+        CcaKind::Htcp => Box::new(Htcp::new(HtcpConfig::default(), mss)),
+        CcaKind::BbrV1 => Box::new(BbrV1::new(BbrV1Config { seed, ..Default::default() }, mss)),
+        CcaKind::BbrV2 => Box::new(BbrV2::new(BbrV2Config { seed, ..Default::default() }, mss)),
+    }
+}
+
+/// Initial congestion window: 10 segments (Linux IW10, RFC 6928).
+pub const INITIAL_CWND_SEGMENTS: u64 = 10;
+
+/// Floor for the congestion window: 2 segments.
+pub const MIN_CWND_SEGMENTS: u64 = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        for k in CcaKind::ALL {
+            assert_eq!(k.name().parse::<CcaKind>().unwrap(), k);
+        }
+        assert_eq!("bbr".parse::<CcaKind>().unwrap(), CcaKind::BbrV1);
+        assert!("quic".parse::<CcaKind>().is_err());
+    }
+
+    #[test]
+    fn factory_builds_all_with_iw10() {
+        for k in CcaKind::ALL {
+            let cca = build_cca(k, 8900);
+            assert_eq!(cca.name(), k.name());
+            assert_eq!(cca.cwnd(), 10 * 8900, "{k} must start at IW10");
+        }
+    }
+
+    #[test]
+    fn loss_based_ccas_do_not_pace() {
+        for k in [CcaKind::Reno, CcaKind::Cubic, CcaKind::Htcp] {
+            assert!(build_cca(k, 1500).pacing_rate().is_none());
+        }
+    }
+
+    #[test]
+    fn bbr_paces_from_the_start() {
+        for k in [CcaKind::BbrV1, CcaKind::BbrV2] {
+            assert!(build_cca(k, 1500).pacing_rate().is_some(), "{k}");
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! TCP Reno (RFC 5681): slow start, AIMD congestion avoidance.
+
+use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
+use elephants_netsim::SimTime;
+
+/// TCP Reno congestion control.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Byte accumulator for sub-MSS congestion-avoidance increments.
+    acked_accum: u64,
+    /// (cwnd, ssthresh) before the last RTO, for spurious-RTO undo.
+    undo: Option<(u64, u64)>,
+}
+
+impl Reno {
+    /// A fresh Reno controller with IW10.
+    pub fn new(mss: u32) -> Self {
+        let mss = mss as u64;
+        Reno { mss, cwnd: INITIAL_CWND_SEGMENTS * mss, ssthresh: u64::MAX, acked_accum: 0, undo: None }
+    }
+
+    fn min_cwnd(&self) -> u64 {
+        MIN_CWND_SEGMENTS * self.mss
+    }
+}
+
+impl CongestionControl for Reno {
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent, in_recovery: bool) {
+        if in_recovery || ev.newly_acked == 0 {
+            return;
+        }
+        if self.cwnd < self.ssthresh {
+            // Slow start: grow by the bytes acknowledged (RFC 5681 §3.1,
+            // with the L = 1 SMSS per-ACK cap).
+            let inc = ev.newly_acked.min(self.mss);
+            self.cwnd = (self.cwnd + inc).min(self.ssthresh);
+        } else {
+            // Congestion avoidance: one MSS per cwnd of acknowledged data.
+            self.acked_accum += ev.newly_acked;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_loss_event(&mut self, _ev: &LossEvent) {
+        self.ssthresh = (self.cwnd / 2).max(self.min_cwnd());
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.undo = Some((self.cwnd, self.ssthresh));
+        self.ssthresh = (self.cwnd / 2).max(self.min_cwnd());
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+
+    fn on_spurious_rto(&mut self, _now: SimTime) {
+        if let Some((cwnd, ssthresh)) = self.undo.take() {
+            self.cwnd = self.cwnd.max(cwnd);
+            self.ssthresh = ssthresh;
+        }
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        self.cwnd = self.cwnd.max(self.min_cwnd());
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<u64> {
+        None
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elephants_netsim::SimDuration;
+
+    pub(crate) fn ack(newly_acked: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO,
+            rtt: SimDuration::from_millis(62),
+            min_rtt: SimDuration::from_millis(62),
+            srtt: SimDuration::from_millis(62),
+            newly_acked,
+            newly_lost: 0,
+            inflight: 0,
+            delivery_rate: None,
+            app_limited: false,
+            delivered: 0,
+            round_start: false,
+            ecn_ce: false,
+            is_app_limited_now: false,
+        }
+    }
+
+    fn loss(inflight: u64) -> LossEvent {
+        LossEvent {
+            now: SimTime::ZERO,
+            inflight,
+            delivered: 0,
+            min_rtt: SimDuration::from_millis(62),
+            max_rtt_epoch: SimDuration::from_millis(70),
+        }
+    }
+
+    const MSS: u32 = 1000;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(MSS);
+        let start = r.cwnd();
+        // One round: every in-flight segment acked grows cwnd by 1 MSS.
+        for _ in 0..10 {
+            r.on_ack(&ack(MSS as u64), false);
+        }
+        assert_eq!(r.cwnd(), start + 10 * MSS as u64);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_mss_per_cwnd() {
+        let mut r = Reno::new(MSS);
+        r.ssthresh = r.cwnd; // force CA
+        let start = r.cwnd();
+        let acks_needed = start / MSS as u64;
+        for _ in 0..acks_needed {
+            r.on_ack(&ack(MSS as u64), false);
+        }
+        assert_eq!(r.cwnd(), start + MSS as u64);
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn loss_halves_cwnd() {
+        let mut r = Reno::new(MSS);
+        r.cwnd = 100 * MSS as u64;
+        r.ssthresh = r.cwnd;
+        r.on_loss_event(&loss(r.cwnd));
+        assert_eq!(r.cwnd(), 50 * MSS as u64);
+        assert_eq!(r.ssthresh(), 50 * MSS as u64);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_segment() {
+        let mut r = Reno::new(MSS);
+        r.cwnd = 100 * MSS as u64;
+        r.on_rto(SimTime::ZERO);
+        assert_eq!(r.cwnd(), MSS as u64);
+        assert_eq!(r.ssthresh(), 50 * MSS as u64);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn cwnd_never_below_floor_after_loss() {
+        let mut r = Reno::new(MSS);
+        r.cwnd = 2 * MSS as u64;
+        r.on_loss_event(&loss(r.cwnd));
+        assert_eq!(r.cwnd(), 2 * MSS as u64); // floor = 2 MSS
+    }
+
+    #[test]
+    fn growth_frozen_during_recovery() {
+        let mut r = Reno::new(MSS);
+        let w = r.cwnd();
+        for _ in 0..50 {
+            r.on_ack(&ack(MSS as u64), true);
+        }
+        assert_eq!(r.cwnd(), w);
+    }
+
+    #[test]
+    fn slow_start_caps_at_ssthresh() {
+        let mut r = Reno::new(MSS);
+        r.ssthresh = 12 * MSS as u64;
+        for _ in 0..10 {
+            r.on_ack(&ack(MSS as u64), false);
+        }
+        assert_eq!(r.cwnd(), 12 * MSS as u64);
+    }
+}

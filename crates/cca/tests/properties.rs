@@ -1,0 +1,172 @@
+//! Property-based tests on congestion-controller invariants.
+
+use elephants_cca::{
+    build_cca_seeded, AckEvent, CcaKind, CongestionControl, LossEvent, WindowedMaxByRound,
+    WindowedMinByTime,
+};
+use elephants_netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const MSS: u32 = 1000;
+
+fn mk_ack(now_ms: u64, rtt_ms: u64, acked: u64, inflight: u64, rate: u64, round: bool) -> AckEvent {
+    AckEvent {
+        now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+        rtt: SimDuration::from_millis(rtt_ms.max(1)),
+        min_rtt: SimDuration::from_millis(rtt_ms.clamp(1, 62)),
+        srtt: SimDuration::from_millis(rtt_ms.max(1)),
+        newly_acked: acked,
+        newly_lost: 0,
+        inflight,
+        delivery_rate: Some(rate.max(1)),
+        app_limited: false,
+        delivered: now_ms * 1000,
+        round_start: round,
+        ecn_ce: false,
+        is_app_limited_now: false,
+    }
+}
+
+/// A random but causally plausible ACK/loss script.
+#[derive(Debug, Clone)]
+enum Step {
+    Ack { dt_ms: u64, rtt_ms: u64, acked_segs: u8, rate_mbps: u32 },
+    Loss,
+    Rto,
+    RecoveryExit,
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            8 => (1u64..100, 50u64..500, 1u8..16, 1u32..10_000).prop_map(|(dt_ms, rtt_ms, acked_segs, rate_mbps)| {
+                Step::Ack { dt_ms, rtt_ms, acked_segs, rate_mbps }
+            }),
+            1 => Just(Step::Loss),
+            1 => Just(Step::Rto),
+            1 => Just(Step::RecoveryExit),
+        ],
+        1..300,
+    )
+}
+
+fn drive(cca: &mut dyn CongestionControl, script: &[Step]) -> Result<(), TestCaseError> {
+    let mut now_ms = 0u64;
+    let mut round_acc = 0u64;
+    for step in script {
+        match *step {
+            Step::Ack { dt_ms, rtt_ms, acked_segs, rate_mbps } => {
+                now_ms += dt_ms;
+                round_acc += dt_ms;
+                let round = round_acc >= 62;
+                if round {
+                    round_acc = 0;
+                }
+                let ack = mk_ack(
+                    now_ms,
+                    rtt_ms,
+                    acked_segs as u64 * MSS as u64,
+                    cca.cwnd() / 2,
+                    rate_mbps as u64 * 1_000_000,
+                    round,
+                );
+                cca.on_ack(&ack, false);
+            }
+            Step::Loss => {
+                let ev = LossEvent {
+                    now: SimTime::ZERO + SimDuration::from_millis(now_ms),
+                    inflight: cca.cwnd(),
+                    delivered: now_ms * 1000,
+                    min_rtt: SimDuration::from_millis(62),
+                    max_rtt_epoch: SimDuration::from_millis(80),
+                };
+                cca.on_loss_event(&ev);
+            }
+            Step::Rto => cca.on_rto(SimTime::ZERO + SimDuration::from_millis(now_ms)),
+            Step::RecoveryExit => cca.on_recovery_exit(SimTime::ZERO + SimDuration::from_millis(now_ms)),
+        }
+        // Universal invariants, checked after every step.
+        prop_assert!(cca.cwnd() >= MSS as u64, "{}: cwnd below 1 MSS: {}", cca.name(), cca.cwnd());
+        prop_assert!(cca.cwnd() < 10_000_000_000, "{}: cwnd exploded: {}", cca.name(), cca.cwnd());
+        if let Some(rate) = cca.pacing_rate() {
+            prop_assert!(rate > 0, "{}: zero pacing rate", cca.name());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_ccas_survive_arbitrary_scripts(script in arb_script(), kind_idx in 0usize..5) {
+        let kind = CcaKind::ALL[kind_idx];
+        let mut cca = build_cca_seeded(kind, MSS, 7);
+        drive(cca.as_mut(), &script)?;
+    }
+
+    /// Loss-based CCAs shrink multiplicatively on a loss event.
+    #[test]
+    fn loss_based_ccas_cut_on_loss(kind_idx in 0usize..3, w in 20u64..10_000) {
+        let kind = [CcaKind::Reno, CcaKind::Cubic, CcaKind::Htcp][kind_idx];
+        let mut cca = build_cca_seeded(kind, MSS, 1);
+        // Grow to w segments via slow start.
+        while cca.cwnd() < w * MSS as u64 {
+            cca.on_ack(&mk_ack(1, 62, MSS as u64, 0, 1_000_000, false), false);
+            if !cca.in_slow_start() { break; }
+        }
+        let before = cca.cwnd();
+        cca.on_loss_event(&LossEvent {
+            now: SimTime::ZERO,
+            inflight: before,
+            delivered: 0,
+            min_rtt: SimDuration::from_millis(62),
+            max_rtt_epoch: SimDuration::from_millis(80),
+        });
+        let after = cca.cwnd();
+        prop_assert!(after < before || before <= 2 * MSS as u64,
+            "{}: no cut {before} -> {after}", kind.name());
+        prop_assert!(after as f64 >= before as f64 * 0.45,
+            "{}: cut too deep {before} -> {after}", kind.name());
+    }
+
+    /// The windowed-max filter always returns an inserted value and is
+    /// never below any in-window sample.
+    #[test]
+    fn max_filter_correctness(vals in proptest::collection::vec(1u64..1_000_000, 1..100)) {
+        let mut f = WindowedMaxByRound::new(8);
+        let mut hist: Vec<(u64, u64)> = vec![];
+        for (round, &v) in vals.iter().enumerate() {
+            let round = round as u64;
+            f.update(round, v);
+            hist.push((round, v));
+            let expect = hist
+                .iter()
+                .filter(|&&(r, _)| r + 8 >= round)
+                .map(|&(_, v)| v)
+                .max()
+                .unwrap();
+            prop_assert_eq!(f.get(), Some(expect));
+        }
+    }
+
+    /// The windowed-min filter matches a brute-force reference.
+    #[test]
+    fn min_filter_correctness(vals in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..100)) {
+        let mut f = WindowedMinByTime::new(SimDuration::from_micros(5_000));
+        let mut hist: Vec<(u64, u64)> = vec![];
+        let mut t = 0u64;
+        for &(dt, v) in &vals {
+            t += dt;
+            f.update(SimTime::from_nanos(t * 1_000), SimDuration::from_nanos(v));
+            hist.push((t, v));
+            let expect = hist
+                .iter()
+                .filter(|&&(ht, _)| (t - ht) * 1_000 <= 5_000_000)
+                .map(|&(_, v)| v)
+                .min()
+                .unwrap();
+            prop_assert_eq!(f.get(), Some(SimDuration::from_nanos(expect)), "at t={}", t);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Ablations of design choices DESIGN.md calls out:
+//!
+//! 1. CUBIC HyStart on/off — startup retransmission cost vs shallow buffers.
+//! 2. BBRv2 loss threshold (2% vs 10%) — the FIFO/RED asymmetry lever.
+//! 3. RED gentle vs non-gentle — forced-drop cliff behaviour.
+//!
+//! `cargo run --release -p elephants-experiments --bin ablate`
+
+use elephants_aqm::{Red, RedConfig};
+use elephants_cca::{BbrV2, BbrV2Config, Cubic, CubicConfig, CongestionControl};
+use elephants_experiments::TextTable;
+use elephants_netsim::prelude::*;
+use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+
+fn run_with(
+    cca: Box<dyn CongestionControl>,
+    aqm: Box<dyn Aqm>,
+    secs: u64,
+) -> (f64, u64) {
+    let bw = Bandwidth::from_mbps(100);
+    let spec = DumbbellSpec::paper(bw);
+    let mut topo = spec.build();
+    topo.set_bottleneck_aqm(aqm);
+    let mut sim = Simulator::new(
+        topo,
+        SimConfig {
+            duration: SimDuration::from_secs(secs),
+            warmup: SimDuration::from_secs(secs / 4),
+            max_events: u64::MAX,
+        },
+        11,
+    );
+    let tx = TcpSender::new(SenderConfig::default(), spec.receiver(0), cca);
+    let rx = TcpReceiver::new(ReceiverConfig::default(), spec.sender(0));
+    let f = sim.add_flow(spec.sender(0), spec.receiver(0), Box::new(tx), Box::new(rx), SimTime::ZERO);
+    let s = sim.run();
+    (
+        s.flows[f.0 as usize].window_goodput_bps(s.window) / 1e6,
+        s.flows[f.0 as usize].sender.retransmits,
+    )
+}
+
+fn small_fifo() -> Box<dyn Aqm> {
+    let bdp = elephants_netsim::bdp_bytes(Bandwidth::from_mbps(100), SimDuration::from_millis(62));
+    Box::new(DropTail::new(bdp / 2))
+}
+
+fn main() {
+    let mut t = TextTable::new(vec!["ablation", "variant", "goodput_mbps", "retransmits"]);
+
+    for hystart in [true, false] {
+        let cca = Box::new(Cubic::new(CubicConfig { hystart, ..Default::default() }, 8900));
+        let (g, r) = run_with(cca, small_fifo(), 20);
+        t.row(vec![
+            "cubic_hystart".to_string(),
+            if hystart { "on" } else { "off" }.to_string(),
+            format!("{g:.1}"),
+            format!("{r}"),
+        ]);
+    }
+
+    for thresh in [0.02, 0.10] {
+        let cca = Box::new(BbrV2::new(BbrV2Config { loss_thresh: thresh, ..Default::default() }, 8900));
+        let (g, r) = run_with(cca, small_fifo(), 20);
+        t.row(vec![
+            "bbr2_loss_thresh".to_string(),
+            format!("{thresh}"),
+            format!("{g:.1}"),
+            format!("{r}"),
+        ]);
+    }
+
+    for gentle in [false, true] {
+        let mut cfg = RedConfig::tc_defaults(1_550_000, 100_000_000, 8900);
+        cfg.gentle = gentle;
+        let cca = Box::new(Cubic::new(CubicConfig::default(), 8900));
+        let (g, r) = run_with(cca, Box::new(Red::new(cfg)), 20);
+        t.row(vec![
+            "red_gentle".to_string(),
+            if gentle { "gentle" } else { "cliff" }.to_string(),
+            format!("{g:.1}"),
+            format!("{r}"),
+        ]);
+    }
+
+    println!("Design-choice ablations (single flow, 100 Mbps, 62 ms RTT)\n");
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv("results/ablate/ablate.csv") {
+        eprintln!("warning: failed to write CSV: {e}");
+    }
+}

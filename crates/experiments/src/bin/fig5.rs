@@ -1,0 +1,15 @@
+//! Regenerates paper Figure 5. See `--help` for flags.
+
+use elephants_experiments::prelude::*;
+
+fn main() {
+    let cli = Cli::parse();
+    let out = fig5(&cli.opts, &cli.cache, &cli.bws);
+    println!("{}", out.caption);
+    println!("{}", out.text);
+    if let Err(e) = out.write_csvs(&cli.out_dir).and_then(|_| out.write_svgs(&cli.out_dir)) {
+        eprintln!("warning: failed to write CSV/SVG: {e}");
+    } else {
+        println!("CSV + SVG written under {}/fig5/", cli.out_dir);
+    }
+}

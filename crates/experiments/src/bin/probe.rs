@@ -1,0 +1,61 @@
+//! Probe a single scenario cell and print its raw metrics.
+//!
+//! Usage:
+//! `cargo run --release -p elephants-experiments --bin probe -- \
+//!    --cca1 bbr1 --cca2 cubic --aqm fq_codel --queue 2 --bw1 100M --secs 20`
+
+use elephants_experiments::prelude::*;
+use elephants_netsim::SimDuration;
+
+fn main() {
+    let mut cca1 = CcaKind::Cubic;
+    let mut cca2 = CcaKind::Cubic;
+    let mut aqm = AqmKind::Fifo;
+    let mut queue = 2.0f64;
+    let mut bw = 100_000_000u64;
+    let mut secs = 20u64;
+    let mut seed = 1u64;
+    let mut scale = 1.0f64;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag needs a value");
+        match a.as_str() {
+            "--cca1" => cca1 = val().parse().unwrap(),
+            "--cca2" => cca2 = val().parse().unwrap(),
+            "--aqm" => aqm = val().parse().unwrap(),
+            "--queue" => queue = val().parse().unwrap(),
+            "--bw1" | "--bw" => {
+                let v = val().to_ascii_uppercase();
+                bw = if let Some(x) = v.strip_suffix('G') {
+                    x.parse::<u64>().unwrap() * 1_000_000_000
+                } else if let Some(x) = v.strip_suffix('M') {
+                    x.parse::<u64>().unwrap() * 1_000_000
+                } else {
+                    v.parse().unwrap()
+                };
+            }
+            "--secs" => secs = val().parse().unwrap(),
+            "--seed" => seed = val().parse().unwrap(),
+            "--scale" => scale = val().parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let opts = RunOptions { seed, flow_scale: scale, ..RunOptions::standard() };
+    let mut cfg = ScenarioConfig::new(cca1, cca2, aqm, queue, bw, &opts);
+    cfg.duration = SimDuration::from_secs(secs);
+    cfg.warmup = cfg.duration.mul_f64(0.25);
+
+    let r = run_scenario(&cfg, seed);
+    println!("{}", cfg.label());
+    println!("  flows        : {}", r.flows);
+    println!("  sender1      : {:.2} Mbps ({})", r.sender_mbps[0], cca1.pretty());
+    println!("  sender2      : {:.2} Mbps ({})", r.sender_mbps.get(1).copied().unwrap_or(0.0), cca2.pretty());
+    println!("  jain         : {:.4}", r.jain);
+    println!("  utilization  : {:.4}", r.utilization);
+    println!("  retransmits  : {}", r.retransmits);
+    println!("  rtos         : {}", r.rtos);
+    println!("  drops        : {}", r.drops);
+    println!("  events       : {}", r.events);
+}

@@ -1,0 +1,43 @@
+//! RTT sensitivity sweep — the paper's "future work: different RTTs",
+//! implemented. Holds the Table 1 knobs fixed (FIFO, 2 BDP, 100 Mbps) and
+//! sweeps the end-to-end RTT, reporting the BBRv1-vs-CUBIC split, Jain
+//! index and utilization.
+//!
+//! `cargo run --release -p elephants-experiments --bin rttsweep`
+
+use elephants_experiments::prelude::*;
+use elephants_experiments::run_scenario;
+use elephants_netsim::SimDuration;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut t = TextTable::new(vec!["rtt_ms", "bbr1_mbps", "cubic_mbps", "jain", "phi"]);
+    for rtt_ms in [12u64, 32, 62, 124, 248] {
+        let mut cfg = ScenarioConfig::new(
+            CcaKind::BbrV1,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            100_000_000,
+            &cli.opts,
+        );
+        cfg.rtt_ms = rtt_ms;
+        // Scale the run length with the RTT so each sees a similar number
+        // of round trips.
+        cfg.duration = SimDuration::from_millis((rtt_ms * 800).max(20_000));
+        cfg.warmup = cfg.duration.mul_f64(0.25);
+        let r = run_scenario(&cfg, cli.opts.seed);
+        t.row(vec![
+            format!("{rtt_ms}"),
+            format!("{:.1}", r.sender_mbps[0]),
+            format!("{:.1}", r.sender_mbps.get(1).copied().unwrap_or(0.0)),
+            format!("{:.3}", r.jain),
+            format!("{:.3}", r.utilization),
+        ]);
+    }
+    println!("BBRv1 vs CUBIC across RTTs (FIFO, 2 BDP, 100 Mbps)\n");
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(format!("{}/rttsweep/rttsweep.csv", cli.out_dir)) {
+        eprintln!("warning: failed to write CSV: {e}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs the full 810-configuration grid (Table 1) and writes a summary CSV.
+
+use elephants_experiments::prelude::*;
+
+fn main() {
+    let cli = Cli::parse();
+    let mut grid = paper_grid(&cli.opts);
+    grid.retain(|c| cli.bws.contains(&c.bw_bps));
+    eprintln!("sweeping {} configurations x {} repeats", grid.len(), cli.opts.repeats);
+    let results = sweep_with_progress(&grid, cli.opts.repeats, &cli.cache, |done, total| {
+        if done % 25 == 0 || done == total {
+            eprintln!("  {done}/{total}");
+        }
+    });
+    let mut t = TextTable::new(vec![
+        "cca1", "cca2", "aqm", "queue_bdp", "bw", "s1_mbps", "s2_mbps", "jain", "phi", "retx", "rtos",
+    ]);
+    for r in &results {
+        t.row(vec![
+            r.config.cca1.to_string(),
+            r.config.cca2.to_string(),
+            r.config.aqm.to_string(),
+            format!("{}", r.config.queue_bdp),
+            bw_label(r.config.bw_bps),
+            format!("{:.2}", r.sender_mbps.first().copied().unwrap_or(0.0)),
+            format!("{:.2}", r.sender_mbps.get(1).copied().unwrap_or(0.0)),
+            format!("{:.3}", r.jain),
+            format!("{:.3}", r.utilization),
+            format!("{:.0}", r.retransmits),
+            format!("{}", r.rtos),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(format!("{}/sweep/grid.csv", cli.out_dir)) {
+        eprintln!("warning: failed to write CSV: {e}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints the paper's Table 2: iperf3 configuration per bottleneck bandwidth.
+
+use elephants_experiments::prelude::*;
+use elephants_netsim::Bandwidth;
+use elephants_workload::{table2_config, table2_total_flows};
+
+fn main() {
+    let mut t = TextTable::new(vec!["Bottleneck BW", "Total #Flows", "iperf3 configuration"]);
+    for &bw in &PAPER_BWS {
+        let b = Bandwidth::from_bps(bw);
+        let c = table2_config(b);
+        t.row(vec![
+            format!("{b}"),
+            format!("{}", table2_total_flows(b)),
+            format!("{} iperf3 process(es)/node, {} stream(s) each", c.processes, c.streams),
+        ]);
+    }
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv("results/table2/table2.csv") {
+        eprintln!("warning: failed to write CSV: {e}");
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates paper Table 3: Avg(phi), Avg(RR), Avg(J) per CCA-pair x AQM.
+//!
+//! By default this averages over the full queue-length set and the selected
+//! bandwidths; pass `--bw` to restrict the sweep.
+
+use elephants_experiments::prelude::*;
+
+fn main() {
+    let cli = Cli::parse();
+    let rows = table3(&cli.opts, &cli.cache, &cli.bws, &PAPER_QUEUES_BDP);
+    let t = render_table3(&rows);
+    println!("Overall performance comparison (paper Table 3)");
+    println!("{}", t.render());
+    if let Err(e) = t.write_csv(format!("{}/table3/table3.csv", cli.out_dir)) {
+        eprintln!("warning: failed to write CSV: {e}");
+    } else {
+        println!("CSV written under {}/table3/", cli.out_dir);
+    }
+}

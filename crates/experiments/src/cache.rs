@@ -1,0 +1,112 @@
+//! On-disk cache of run results.
+//!
+//! Simulation runs are pure functions of `(ScenarioConfig, seed)`, so their
+//! results are cached as JSON under `results/cache/`. Re-running a figure
+//! binary reuses every run it shares with previous figures (the whole study
+//! is one 810-cell grid viewed from different angles).
+
+use crate::runner::{run_scenario, RunResult};
+use crate::scenario::ScenarioConfig;
+use std::path::{Path, PathBuf};
+
+/// A JSON file-per-run cache.
+#[derive(Debug, Clone)]
+pub struct RunCache {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl RunCache {
+    /// Cache rooted at `dir` (created on first write).
+    pub fn new(dir: impl AsRef<Path>) -> Self {
+        RunCache { dir: dir.as_ref().to_path_buf(), enabled: true }
+    }
+
+    /// A disabled cache (always recompute).
+    pub fn disabled() -> Self {
+        RunCache { dir: PathBuf::new(), enabled: false }
+    }
+
+    /// Default location: `results/cache` under the current directory.
+    pub fn default_location() -> Self {
+        RunCache::new("results/cache")
+    }
+
+    fn path_for(&self, cfg: &ScenarioConfig, seed: u64) -> PathBuf {
+        self.dir.join(format!("{}.json", cfg.cache_key(seed)))
+    }
+
+    /// Fetch a cached result if present and parseable.
+    pub fn get(&self, cfg: &ScenarioConfig, seed: u64) -> Option<RunResult> {
+        if !self.enabled {
+            return None;
+        }
+        let bytes = std::fs::read(self.path_for(cfg, seed)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    /// Store a result (best-effort; IO errors are swallowed).
+    pub fn put(&self, cfg: &ScenarioConfig, seed: u64, result: &RunResult) {
+        if !self.enabled {
+            return;
+        }
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        if let Ok(json) = serde_json::to_vec_pretty(result) {
+            let _ = std::fs::write(self.path_for(cfg, seed), json);
+        }
+    }
+
+    /// Run (or fetch) one seed of a scenario.
+    pub fn run(&self, cfg: &ScenarioConfig, seed: u64) -> RunResult {
+        if let Some(hit) = self.get(cfg, seed) {
+            return hit;
+        }
+        let result = run_scenario(cfg, seed);
+        self.put(cfg, seed, &result);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::RunOptions;
+    use elephants_aqm::AqmKind;
+    use elephants_cca::CcaKind;
+
+    #[test]
+    fn cache_round_trip() {
+        let tmp = std::env::temp_dir().join(format!("elephants-cache-test-{}", std::process::id()));
+        let cache = RunCache::new(&tmp);
+        let cfg = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &RunOptions::quick(),
+        );
+        assert!(cache.get(&cfg, 1).is_none());
+        let fresh = cache.run(&cfg, 1);
+        let cached = cache.get(&cfg, 1).expect("must be cached now");
+        assert_eq!(fresh.events, cached.events);
+        assert_eq!(fresh.sender_mbps, cached.sender_mbps);
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = RunCache::disabled();
+        let cfg = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &RunOptions::quick(),
+        );
+        assert!(cache.get(&cfg, 1).is_none());
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal argument parsing shared by the figure/table binaries.
+//!
+//! Flags:
+//!
+//! * `--quick` / `--full` — duration preset (default: standard)
+//! * `--repeats N` — seeded repetitions per config (paper: 5)
+//! * `--scale F` — Table 2 flow-count scale in (0, 1]
+//! * `--seed N` — base seed
+//! * `--bw LIST` — comma-separated bandwidths (e.g. `100M,1G,25G`)
+//! * `--no-cache` — recompute everything
+//! * `--out DIR` — output directory for CSVs (default `results`)
+
+use crate::cache::RunCache;
+use crate::scenario::{DurationPreset, RunOptions, PAPER_BWS};
+
+/// Parsed command line for a figure binary.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Run options derived from flags.
+    pub opts: RunOptions,
+    /// Bandwidths to sweep.
+    pub bws: Vec<u64>,
+    /// Results cache (possibly disabled).
+    pub cache: RunCache,
+    /// CSV output directory.
+    pub out_dir: String,
+}
+
+fn parse_bw(s: &str) -> Result<u64, String> {
+    let s = s.trim().to_ascii_uppercase();
+    let (num, mult) = if let Some(x) = s.strip_suffix('G') {
+        (x, 1_000_000_000u64)
+    } else if let Some(x) = s.strip_suffix('M') {
+        (x, 1_000_000u64)
+    } else if let Some(x) = s.strip_suffix('K') {
+        (x, 1_000u64)
+    } else {
+        (s.as_str(), 1u64)
+    };
+    num.parse::<u64>().map(|n| n * mult).map_err(|e| format!("bad bandwidth '{s}': {e}"))
+}
+
+impl Cli {
+    /// Parse an argument list (excluding the program name).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+        let mut opts = RunOptions::standard();
+        let mut bws: Vec<u64> = PAPER_BWS.to_vec();
+        let mut use_cache = true;
+        let mut out_dir = "results".to_string();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+            match arg.as_str() {
+                "--quick" => opts.preset = DurationPreset::Quick,
+                "--full" => {
+                    opts.preset = DurationPreset::Full;
+                    opts.repeats = opts.repeats.max(5);
+                }
+                "--repeats" => opts.repeats = need("--repeats")?.parse().map_err(|e| format!("{e}"))?,
+                "--scale" => {
+                    opts.flow_scale = need("--scale")?.parse().map_err(|e| format!("{e}"))?;
+                    if !(opts.flow_scale > 0.0 && opts.flow_scale <= 1.0) {
+                        return Err("--scale must be in (0,1]".into());
+                    }
+                }
+                "--seed" => opts.seed = need("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--bw" => {
+                    bws = need("--bw")?.split(',').map(parse_bw).collect::<Result<_, _>>()?;
+                    if bws.is_empty() {
+                        return Err("--bw list is empty".into());
+                    }
+                }
+                "--no-cache" => use_cache = false,
+                "--out" => out_dir = need("--out")?,
+                "--help" | "-h" => return Err(HELP.to_string()),
+                other => return Err(format!("unknown flag '{other}'\n{HELP}")),
+            }
+        }
+        let cache = if use_cache { RunCache::new(format!("{out_dir}/cache")) } else { RunCache::disabled() };
+        Ok(Cli { opts, bws, cache, out_dir })
+    }
+
+    /// Parse the process arguments, exiting with a message on error.
+    pub fn parse() -> Cli {
+        match Cli::parse_from(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+const HELP: &str = "\
+usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
+                       [--bw 100M,1G,25G] [--no-cache] [--out DIR]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.bws, PAPER_BWS.to_vec());
+        assert_eq!(cli.opts.repeats, 1);
+        assert_eq!(cli.out_dir, "results");
+    }
+
+    #[test]
+    fn full_bumps_repeats() {
+        let cli = parse(&["--full"]).unwrap();
+        assert_eq!(cli.opts.preset, DurationPreset::Full);
+        assert_eq!(cli.opts.repeats, 5);
+    }
+
+    #[test]
+    fn bw_list_parsing() {
+        let cli = parse(&["--bw", "100M,1G"]).unwrap();
+        assert_eq!(cli.bws, vec![100_000_000, 1_000_000_000]);
+        assert!(parse(&["--bw", "12X"]).is_err());
+    }
+
+    #[test]
+    fn scale_validation() {
+        assert!(parse(&["--scale", "0.5"]).is_ok());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # elephants-experiments
+//!
+//! The experiment harness that reproduces the paper's evaluation: the
+//! Table 1 scenario grid, a deterministic runner, a rayon-parallel sweep
+//! with an on-disk result cache, and one assembly function per paper figure
+//! and table (binaries `fig2` … `fig8`, `table2`, `table3`, `sweep`).
+//!
+//! ```no_run
+//! use elephants_experiments::prelude::*;
+//!
+//! let opts = RunOptions::quick();
+//! let cache = RunCache::disabled();
+//! let fig = fig3(&opts, &cache, &[100_000_000]);
+//! println!("{}", fig.text);
+//! ```
+
+pub mod cache;
+pub mod cli;
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod svg;
+pub mod sweep;
+pub mod trace;
+
+pub use cache::RunCache;
+pub use cli::Cli;
+pub use figures::{
+    fig2, fig3, fig4, fig5, fig6, fig7, fig8, render_table3, table3, FigureOutput, Table3Row,
+    FIGURE_BUFFERS_BDP,
+};
+pub use report::{bw_label, TextTable};
+pub use runner::{run_averaged, run_scenario, AveragedResult, RunResult};
+pub use scenario::{
+    paper_grid, paper_pairs, DurationPreset, RunOptions, ScenarioConfig, INTER_PAIRS, INTRA_PAIRS,
+    PAPER_BWS, PAPER_MSS, PAPER_QUEUES_BDP,
+};
+pub use svg::{line_chart, write_chart, ChartSpec, Series};
+pub use sweep::{sweep, sweep_with_progress};
+pub use trace::{run_scenario_traced, ScenarioTrace, TraceSample};
+
+/// Convenience re-exports for binaries and examples.
+pub mod prelude {
+    pub use crate::cache::RunCache;
+    pub use crate::cli::Cli;
+    pub use crate::figures::*;
+    pub use crate::report::{bw_label, TextTable};
+    pub use crate::runner::{run_averaged, run_scenario};
+    pub use crate::scenario::*;
+    pub use crate::sweep::{sweep, sweep_with_progress};
+    pub use crate::trace::{run_scenario_traced, ScenarioTrace};
+    pub use elephants_aqm::AqmKind;
+    pub use elephants_cca::CcaKind;
+}

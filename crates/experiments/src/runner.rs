@@ -1,0 +1,202 @@
+//! Build and execute one scenario in the simulator.
+
+use crate::scenario::ScenarioConfig;
+use elephants_aqm::build_aqm;
+use elephants_cca::build_cca_seeded;
+
+use elephants_netsim::{DumbbellSpec, SimConfig, SimTime, Simulator};
+use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use elephants_workload::plan_flows;
+use serde::{Deserialize, Serialize};
+
+/// Result of a single (config, seed) run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-sender goodput in Mbps over the measurement window.
+    pub sender_mbps: Vec<f64>,
+    /// Jain index over the two senders.
+    pub jain: f64,
+    /// Link utilization φ.
+    pub utilization: f64,
+    /// Retransmitted segments in the measurement window.
+    pub retransmits: u64,
+    /// RTO events over the run.
+    pub rtos: u64,
+    /// Bottleneck drops over the run.
+    pub drops: u64,
+    /// Flows simulated.
+    pub flows: u32,
+    /// Events processed (diagnostic).
+    pub events: u64,
+}
+
+/// Run one scenario with a specific seed.
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
+    let bw = cfg.bandwidth();
+    let spec = DumbbellSpec::paper_with_rtt(bw, cfg.rtt());
+    let mut topo = spec.build();
+    topo.set_bottleneck_aqm(build_aqm(
+        cfg.aqm,
+        cfg.queue_bytes(),
+        cfg.bw_bps,
+        cfg.mss,
+        cfg.ecn,
+        seed,
+    ));
+
+    let sim_cfg = SimConfig { duration: cfg.duration, warmup: cfg.warmup, max_events: u64::MAX };
+    let mut sim = Simulator::new(topo, sim_cfg, seed);
+
+    let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
+    for (sender_idx, starts) in plan.starts.iter().enumerate() {
+        let kind = if sender_idx == 0 { cfg.cca1 } else { cfg.cca2 };
+        let s_node = spec.sender(sender_idx);
+        let r_node = spec.receiver(sender_idx);
+        for (i, &start) in starts.iter().enumerate() {
+            let flow_seed = seed
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add((sender_idx as u64) << 32 | i as u64);
+            let cca = build_cca_seeded(kind, cfg.mss, flow_seed);
+            let tx = TcpSender::new(
+                SenderConfig { mss: cfg.mss, ecn: cfg.ecn, ..Default::default() },
+                r_node,
+                cca,
+            );
+            let rx = TcpReceiver::new(ReceiverConfig::default(), s_node);
+            sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start);
+        }
+    }
+
+    let summary = sim.run();
+
+    // Per-flow goodput grouped by sender node.
+    let window = summary.window;
+    let flow_goodputs: Vec<(u32, f64)> = summary
+        .flows
+        .iter()
+        .map(|f| {
+            let sender_idx = if f.sender_node == spec.sender(0) { 0 } else { 1 };
+            (sender_idx, f.window_goodput_bps(window))
+        })
+        .collect();
+    let retransmits: u64 = summary.flows.iter().map(|f| f.sender.retransmits_window).sum();
+    let rtos: u64 = summary.flows.iter().map(|f| f.sender.rto_count).sum();
+    let drops = summary.bottleneck.aqm.dropped_total() + summary.bottleneck.fault_losses;
+
+    let senders = elephants_metrics::per_sender_goodput(&flow_goodputs);
+    let tputs: Vec<f64> = senders.iter().map(|s| s.goodput_bps).collect();
+    let jain = elephants_metrics::jain_index(&tputs);
+    // Link utilization is measured on the wire (bottleneck bytes serialized
+    // inside the window). Receiver goodput would over-count in short runs:
+    // the backlog queued during warmup drains into the window, which with a
+    // 16 BDP buffer can exceed capacity x window by several percent.
+    let wire_bps = summary.bottleneck.bytes_tx_window as f64 * 8.0 / summary.window.as_secs_f64();
+    let utilization = elephants_metrics::link_utilization(wire_bps, cfg.bw_bps as f64);
+    RunResult {
+        sender_mbps: senders.iter().map(|s| s.goodput_bps / 1e6).collect(),
+        jain,
+        utilization,
+        retransmits,
+        rtos,
+        drops,
+        flows: plan.total(),
+        events: summary.events_processed,
+    }
+}
+
+/// Averages over repeated runs of one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedResult {
+    /// The scenario.
+    pub config: ScenarioConfig,
+    /// Mean per-sender goodput (Mbps).
+    pub sender_mbps: Vec<f64>,
+    /// Mean Jain index.
+    pub jain: f64,
+    /// Mean utilization.
+    pub utilization: f64,
+    /// Mean retransmissions per run.
+    pub retransmits: f64,
+    /// Total RTOs across repeats.
+    pub rtos: u64,
+    /// Individual run results.
+    pub runs: Vec<RunResult>,
+}
+
+/// Average a set of per-seed runs.
+pub fn average_runs(config: ScenarioConfig, runs: Vec<RunResult>) -> AveragedResult {
+    assert!(!runs.is_empty());
+    let n = runs.len() as f64;
+    let n_senders = runs[0].sender_mbps.len();
+    let sender_mbps = (0..n_senders)
+        .map(|i| runs.iter().map(|r| r.sender_mbps.get(i).copied().unwrap_or(0.0)).sum::<f64>() / n)
+        .collect();
+    AveragedResult {
+        config,
+        sender_mbps,
+        jain: runs.iter().map(|r| r.jain).sum::<f64>() / n,
+        utilization: runs.iter().map(|r| r.utilization).sum::<f64>() / n,
+        retransmits: runs.iter().map(|r| r.retransmits as f64).sum::<f64>() / n,
+        rtos: runs.iter().map(|r| r.rtos).sum(),
+        runs,
+    }
+}
+
+/// Run `cfg.seed .. cfg.seed + repeats` and average (no cache).
+pub fn run_averaged(cfg: &ScenarioConfig, repeats: u32) -> AveragedResult {
+    let runs: Vec<RunResult> =
+        (0..repeats.max(1)).map(|r| run_scenario(cfg, cfg.seed + r as u64)).collect();
+    average_runs(*cfg, runs)
+}
+
+/// Convenience used by tests: first flow's start time for the plan.
+pub fn first_start(cfg: &ScenarioConfig, seed: u64) -> SimTime {
+    plan_flows(cfg.bandwidth(), 2, cfg.flow_scale, seed).starts[0][0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::RunOptions;
+    use elephants_aqm::AqmKind;
+    use elephants_cca::CcaKind;
+
+    fn quick_cfg(cca1: CcaKind, cca2: CcaKind, aqm: AqmKind, q: f64, bw: u64) -> ScenarioConfig {
+        ScenarioConfig::new(cca1, cca2, aqm, q, bw, &RunOptions::quick())
+    }
+
+    #[test]
+    fn cubic_intra_100m_fifo_is_fair_and_full() {
+        let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        let r = run_scenario(&cfg, 1);
+        assert_eq!(r.flows, 2);
+        assert!(r.utilization > 0.85, "φ = {}", r.utilization);
+        assert!(r.jain > 0.8, "J = {}", r.jain);
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        let a = run_scenario(&cfg, 7);
+        let b = run_scenario(&cfg, 7);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.sender_mbps, b.sender_mbps);
+        assert_eq!(a.retransmits, b.retransmits);
+    }
+
+    #[test]
+    fn averaging_is_elementwise() {
+        let cfg = quick_cfg(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        let avg = run_averaged(&cfg, 2);
+        assert_eq!(avg.runs.len(), 2);
+        let expect0 = (avg.runs[0].sender_mbps[0] + avg.runs[1].sender_mbps[0]) / 2.0;
+        assert!((avg.sender_mbps[0] - expect0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flow_counts_follow_table2() {
+        let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 500_000_000);
+        let r = run_scenario(&cfg, 1);
+        assert_eq!(r.flows, 10);
+    }
+}

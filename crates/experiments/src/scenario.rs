@@ -1,0 +1,296 @@
+//! Scenario configuration and the paper's experiment grid (Table 1).
+
+use elephants_aqm::AqmKind;
+use elephants_cca::CcaKind;
+use elephants_netsim::{bdp_bytes, Bandwidth, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// The paper's bottleneck bandwidths (Table 1).
+pub const PAPER_BWS: [u64; 5] =
+    [100_000_000, 500_000_000, 1_000_000_000, 10_000_000_000, 25_000_000_000];
+
+/// The paper's queue lengths in BDP multiples. Table 1 lists 0.5–8; the
+/// result figures additionally use 16 BDP, which completes the 810-config
+/// grid (9 pairs × 3 AQMs × 6 queues × 5 BWs).
+pub const PAPER_QUEUES_BDP: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// Jumbo-frame segment size used by every flow in the paper.
+pub const PAPER_MSS: u32 = 8900;
+
+/// The four inter-CCA pairings (everything vs CUBIC).
+pub const INTER_PAIRS: [(CcaKind, CcaKind); 4] = [
+    (CcaKind::BbrV1, CcaKind::Cubic),
+    (CcaKind::BbrV2, CcaKind::Cubic),
+    (CcaKind::Htcp, CcaKind::Cubic),
+    (CcaKind::Reno, CcaKind::Cubic),
+];
+
+/// The five intra-CCA pairings (each CCA vs itself).
+pub const INTRA_PAIRS: [(CcaKind, CcaKind); 5] = [
+    (CcaKind::BbrV1, CcaKind::BbrV1),
+    (CcaKind::BbrV2, CcaKind::BbrV2),
+    (CcaKind::Htcp, CcaKind::Htcp),
+    (CcaKind::Reno, CcaKind::Reno),
+    (CcaKind::Cubic, CcaKind::Cubic),
+];
+
+/// All nine pairings of Table 1.
+pub fn paper_pairs() -> Vec<(CcaKind, CcaKind)> {
+    INTER_PAIRS.iter().chain(INTRA_PAIRS.iter()).copied().collect()
+}
+
+/// One cell of the experiment grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// CCA on sender node 0.
+    pub cca1: CcaKind,
+    /// CCA on sender node 1.
+    pub cca2: CcaKind,
+    /// Bottleneck queue discipline.
+    pub aqm: AqmKind,
+    /// Queue length as a multiple of the BDP.
+    pub queue_bdp: f64,
+    /// Bottleneck bandwidth (bits/s).
+    pub bw_bps: u64,
+    /// Simulated run length.
+    pub duration: SimDuration,
+    /// Measurement-window start.
+    pub warmup: SimDuration,
+    /// Fraction of Table 2's flow count to instantiate.
+    pub flow_scale: f64,
+    /// Segment size.
+    pub mss: u32,
+    /// Enable ECN end to end (off in the paper).
+    pub ecn: bool,
+    /// End-to-end round-trip propagation time in milliseconds (paper: 62).
+    /// Varying this is the paper's "future work: different RTTs" extension.
+    pub rtt_ms: u64,
+    /// Base RNG seed; repeats use `seed`, `seed+1`, …
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// A scenario with paper defaults and runtime knobs from `opts`.
+    pub fn new(
+        cca1: CcaKind,
+        cca2: CcaKind,
+        aqm: AqmKind,
+        queue_bdp: f64,
+        bw_bps: u64,
+        opts: &RunOptions,
+    ) -> Self {
+        let duration = opts.duration_for(bw_bps);
+        ScenarioConfig {
+            cca1,
+            cca2,
+            aqm,
+            queue_bdp,
+            bw_bps,
+            duration,
+            warmup: duration.mul_f64(opts.warmup_frac),
+            flow_scale: opts.flow_scale,
+            mss: PAPER_MSS,
+            ecn: false,
+            rtt_ms: 62,
+            seed: opts.seed,
+        }
+    }
+
+    /// Bottleneck bandwidth as a typed quantity.
+    pub fn bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bps(self.bw_bps)
+    }
+
+    /// The configured round-trip propagation time.
+    pub fn rtt(&self) -> SimDuration {
+        SimDuration::from_millis(self.rtt_ms)
+    }
+
+    /// Queue capacity in bytes for the configured RTT.
+    pub fn queue_bytes(&self) -> u64 {
+        let bdp = bdp_bytes(self.bandwidth(), self.rtt());
+        ((bdp as f64 * self.queue_bdp) as u64).max(4 * self.mss as u64)
+    }
+
+    /// Whether both senders run the same CCA.
+    pub fn is_intra(&self) -> bool {
+        self.cca1 == self.cca2
+    }
+
+    /// Stable cache key for (config, seed) results.
+    pub fn cache_key(&self, seed: u64) -> String {
+        format!(
+            "{}-{}-{}-q{:.2}bdp-{}mbps-d{}ms-w{}ms-fs{:.3}-mss{}-ecn{}-rtt{}-s{}",
+            self.cca1,
+            self.cca2,
+            self.aqm,
+            self.queue_bdp,
+            self.bw_bps / 1_000_000,
+            self.duration.as_nanos() / 1_000_000,
+            self.warmup.as_nanos() / 1_000_000,
+            self.flow_scale,
+            self.mss,
+            self.ecn as u8,
+            self.rtt_ms,
+            seed,
+        )
+    }
+
+    /// Human-readable label ("BBRv1 vs CUBIC, fifo, 2 BDP, 1Gbps").
+    pub fn label(&self) -> String {
+        format!(
+            "{} vs {}, {}, {} BDP, {}",
+            self.cca1.pretty(),
+            self.cca2.pretty(),
+            self.aqm,
+            self.queue_bdp,
+            self.bandwidth()
+        )
+    }
+}
+
+/// Runtime knobs shared by all scenario constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Preset governing the per-bandwidth simulated duration.
+    pub preset: DurationPreset,
+    /// Warmup fraction of the duration excluded from measurement.
+    pub warmup_frac: f64,
+    /// Repetitions per configuration (paper: 5).
+    pub repeats: u32,
+    /// Table 2 flow-count scale.
+    pub flow_scale: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+/// How long to simulate per bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurationPreset {
+    /// Fast shape-check (CI-friendly).
+    Quick,
+    /// Default: long enough for post-startup dynamics at every bandwidth,
+    /// scaled down at high rates to keep packet counts tractable.
+    Standard,
+    /// The paper's full 200 s everywhere (expensive at 10/25 Gbps).
+    Full,
+    /// Tiny runs for criterion benches (seconds of wall time per figure).
+    Bench,
+}
+
+impl RunOptions {
+    /// Default options: standard durations, 1 repeat, full flow counts.
+    pub fn standard() -> Self {
+        RunOptions {
+            preset: DurationPreset::Standard,
+            warmup_frac: 0.25,
+            repeats: 1,
+            flow_scale: 1.0,
+            seed: 1,
+        }
+    }
+
+    /// Quick options for tests and smoke runs.
+    pub fn quick() -> Self {
+        RunOptions { preset: DurationPreset::Quick, ..Self::standard() }
+    }
+
+    /// Paper-faithful options (200 s × 5 repeats).
+    pub fn full() -> Self {
+        RunOptions { preset: DurationPreset::Full, repeats: 5, ..Self::standard() }
+    }
+
+    /// Simulated duration for a given bottleneck bandwidth.
+    pub fn duration_for(&self, bw_bps: u64) -> SimDuration {
+        let secs = match self.preset {
+            DurationPreset::Full => 200,
+            DurationPreset::Standard => match bw_bps {
+                b if b <= 150_000_000 => 60,
+                b if b <= 600_000_000 => 25,
+                b if b <= 1_500_000_000 => 15,
+                b if b <= 10_000_000_000 => 6,
+                _ => 4,
+            },
+            DurationPreset::Quick => match bw_bps {
+                b if b <= 150_000_000 => 10,
+                b if b <= 1_500_000_000 => 5,
+                _ => 2,
+            },
+            DurationPreset::Bench => match bw_bps {
+                b if b <= 150_000_000 => 3,
+                _ => 1,
+            },
+        };
+        SimDuration::from_secs(secs)
+    }
+}
+
+/// The full 810-configuration grid of Table 1.
+pub fn paper_grid(opts: &RunOptions) -> Vec<ScenarioConfig> {
+    let mut grid = Vec::new();
+    for (cca1, cca2) in paper_pairs() {
+        for aqm in AqmKind::PAPER_SET {
+            for &q in &PAPER_QUEUES_BDP {
+                for &bw in &PAPER_BWS {
+                    grid.push(ScenarioConfig::new(cca1, cca2, aqm, q, bw, opts));
+                }
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_810_configs() {
+        let grid = paper_grid(&RunOptions::standard());
+        assert_eq!(grid.len(), 810);
+        // 9 pairs, 3 AQMs, 6 queues, 5 bandwidths.
+        let pairs: std::collections::HashSet<_> =
+            grid.iter().map(|c| (c.cca1, c.cca2)).collect();
+        assert_eq!(pairs.len(), 9);
+    }
+
+    #[test]
+    fn queue_bytes_match_bdp_multiples() {
+        let opts = RunOptions::standard();
+        let c = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            100_000_000,
+            &opts,
+        );
+        // BDP at 100 Mbps × 62 ms = 775 kB; 2 BDP = 1.55 MB.
+        assert_eq!(c.queue_bytes(), 1_550_000);
+    }
+
+    #[test]
+    fn cache_keys_distinguish_configs_and_seeds() {
+        let opts = RunOptions::standard();
+        let a = ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Red, 2.0, PAPER_BWS[0], &opts);
+        let b = ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Red, 4.0, PAPER_BWS[0], &opts);
+        assert_ne!(a.cache_key(1), b.cache_key(1));
+        assert_ne!(a.cache_key(1), a.cache_key(2));
+        assert_eq!(a.cache_key(1), a.cache_key(1));
+    }
+
+    #[test]
+    fn durations_scale_down_with_bandwidth() {
+        let opts = RunOptions::standard();
+        assert!(opts.duration_for(100_000_000) > opts.duration_for(25_000_000_000));
+        let full = RunOptions::full();
+        assert_eq!(full.duration_for(25_000_000_000), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        let opts = RunOptions::standard();
+        let c = ScenarioConfig::new(CcaKind::BbrV2, CcaKind::Cubic, AqmKind::FqCodel, 16.0, PAPER_BWS[4], &opts);
+        assert_eq!(c.label(), "BBRv2 vs CUBIC, fq_codel, 16 BDP, 25Gbps");
+    }
+}

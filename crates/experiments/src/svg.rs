@@ -1,0 +1,350 @@
+//! Minimal self-contained SVG line charts for the figure outputs.
+//!
+//! No plotting dependency: the study's figures are simple multi-series line
+//! charts (metric vs buffer size or bandwidth), which ~200 lines of SVG
+//! generation covers. Charts embed their own axes, ticks, legend and title,
+//! and render identically in any browser.
+
+use std::fmt::Write as _;
+
+/// One named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Debug, Clone)]
+pub struct ChartSpec {
+    /// Title rendered above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis (used for buffer-size and bandwidth sweeps).
+    pub log_x: bool,
+    /// Force the y axis to start at zero.
+    pub y_from_zero: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            log_x: false,
+            y_from_zero: true,
+            width: 640,
+            height: 400,
+        }
+    }
+}
+
+/// A categorical palette (color-blind-safe Okabe–Ito).
+const PALETTE: [&str; 8] =
+    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000"];
+
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 140.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo || n == 0 {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (lo / step).ceil() * step;
+    let mut ticks = vec![];
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn fmt_num(x: f64) -> String {
+    fn trim(v: f64, suffix: &str) -> String {
+        let s = format!("{v:.3}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        format!("{s}{suffix}")
+    }
+    if x == 0.0 {
+        return "0".into();
+    }
+    let ax = x.abs();
+    if ax >= 1e9 {
+        trim(x / 1e9, "G")
+    } else if ax >= 1e6 {
+        trim(x / 1e6, "M")
+    } else if ax >= 1e3 {
+        trim(x / 1e3, "k")
+    } else if ax >= 1.0 {
+        trim(x, "")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a multi-series line chart as an SVG document.
+pub fn line_chart(spec: &ChartSpec, series: &[Series]) -> String {
+    let w = spec.width as f64;
+    let h = spec.height as f64;
+    let plot_w = w - MARGIN_L - MARGIN_R;
+    let plot_h = h - MARGIN_T - MARGIN_B;
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .filter(|x| !spec.log_x || *x > 0.0)
+        .collect();
+    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let (x_lo, x_hi) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &x| {
+        (a.min(x), b.max(x))
+    });
+    let (mut y_lo, mut y_hi) = ys.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &y| {
+        (a.min(y), b.max(y))
+    });
+    if spec.y_from_zero {
+        y_lo = y_lo.min(0.0);
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    // 5% headroom.
+    let pad = (y_hi - y_lo) * 0.05;
+    y_hi += pad;
+    if !spec.y_from_zero {
+        y_lo -= pad;
+    }
+
+    let x_map = |x: f64| -> f64 {
+        let t = if spec.log_x {
+            (x.ln() - x_lo.ln()) / (x_hi.ln() - x_lo.ln()).max(1e-12)
+        } else {
+            (x - x_lo) / (x_hi - x_lo).max(1e-12)
+        };
+        MARGIN_L + t * plot_w
+    };
+    let y_map = |y: f64| -> f64 { MARGIN_T + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h };
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = write!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title.
+    let _ = write!(
+        out,
+        r#"<text x="{}" y="22" text-anchor="middle" font-size="14" font-weight="bold">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        esc(&spec.title)
+    );
+
+    // Axes frame.
+    let _ = write!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+    );
+
+    // Y ticks + gridlines.
+    for t in nice_ticks(y_lo, y_hi, 6) {
+        let y = y_map(t);
+        let _ = write!(
+            out,
+            r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
+            MARGIN_L + plot_w
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end" dominant-baseline="middle">{}</text>"#,
+            MARGIN_L - 6.0,
+            y,
+            fmt_num(t)
+        );
+    }
+    // X ticks: log axes label the actual data points, linear axes use nice ticks.
+    let x_ticks: Vec<f64> = if spec.log_x {
+        let mut uniq: Vec<f64> = xs.clone();
+        uniq.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        uniq.dedup();
+        uniq
+    } else {
+        nice_ticks(x_lo, x_hi, 6)
+    };
+    for t in x_ticks {
+        let x = x_map(t);
+        let _ = write!(
+            out,
+            r##"<line x1="{x:.1}" y1="{:.1}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{x:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            fmt_num(t)
+        );
+    }
+    // Axis labels.
+    let _ = write!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 10.0,
+        esc(&spec.x_label)
+    );
+    let _ = write!(
+        out,
+        r#"<text x="14" y="{:.1}" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        esc(&spec.y_label)
+    );
+
+    // Series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let pts: Vec<(f64, f64)> = s
+            .points
+            .iter()
+            .filter(|p| !spec.log_x || p.0 > 0.0)
+            .map(|&(x, y)| (x_map(x), y_map(y)))
+            .collect();
+        if pts.len() > 1 {
+            let path: String =
+                pts.iter().map(|&(x, y)| format!("{x:.1},{y:.1}")).collect::<Vec<_>>().join(" ");
+            let _ = write!(
+                out,
+                r#"<polyline points="{path}" fill="none" stroke="{color}" stroke-width="2"/>"#
+            );
+        }
+        for &(x, y) in &pts {
+            let _ = write!(out, r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#);
+        }
+        // Legend entry.
+        let ly = MARGIN_T + 16.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 10.0;
+        let _ = write!(
+            out,
+            r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = write!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" dominant-baseline="middle">{}</text>"#,
+            lx + 24.0,
+            ly,
+            esc(&s.name)
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Write a chart to disk, creating parent directories.
+pub fn write_chart(
+    path: impl AsRef<std::path::Path>,
+    spec: &ChartSpec,
+    series: &[Series],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, line_chart(spec, series))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_series() -> Vec<Series> {
+        vec![
+            Series { name: "bbr1".into(), points: vec![(0.5, 80.0), (2.0, 60.0), (16.0, 20.0)] },
+            Series { name: "cubic".into(), points: vec![(0.5, 15.0), (2.0, 35.0), (16.0, 75.0)] },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = line_chart(&ChartSpec { title: "t".into(), ..Default::default() }, &demo_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("bbr1"));
+        assert!(svg.contains("cubic"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let spec = ChartSpec { title: "a<b & c>d".into(), ..Default::default() };
+        let svg = line_chart(&spec, &demo_series());
+        assert!(svg.contains("a&lt;b &amp; c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let spec = ChartSpec { log_x: true, ..Default::default() };
+        let series = vec![Series { name: "s".into(), points: vec![(0.0, 1.0), (1.0, 2.0), (10.0, 3.0)] }];
+        let svg = line_chart(&spec, &series);
+        // Two positive points survive: one polyline with exactly 2 pairs.
+        assert!(svg.contains("polyline"));
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_range() {
+        let t = nice_ticks(0.0, 1.0, 6);
+        assert!(t.contains(&0.0) && t.contains(&1.0), "{t:?}");
+        let t = nice_ticks(0.0, 87.3, 6);
+        assert!(t.iter().all(|x| (x / t[1.min(t.len() - 1)]).fract().abs() < 1e-9 || *x == 0.0));
+        let t = nice_ticks(5.0, 5.0, 4);
+        assert_eq!(t, vec![5.0]);
+    }
+
+    #[test]
+    fn fmt_num_scales() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(25_000_000_000.0), "25G");
+        assert_eq!(fmt_num(100_000_000.0), "100M");
+        assert_eq!(fmt_num(1_500.0), "1.5k");
+        assert_eq!(fmt_num(2.0), "2");
+    }
+
+    #[test]
+    fn write_chart_creates_dirs() {
+        let dir = std::env::temp_dir().join(format!("elephants-svg-{}", std::process::id()));
+        let path = dir.join("a/b/chart.svg");
+        write_chart(&path, &ChartSpec::default(), &demo_series()).unwrap();
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,117 @@
+//! Parallel execution of scenario grids.
+//!
+//! Every `(config, seed)` run is an independent deterministic simulation, so
+//! the grid is embarrassingly parallel: flatten configs × seeds into one
+//! work list and hand it to rayon. Each worker owns its simulator — no
+//! shared mutable state, no locks (the "share nothing" idiom from the
+//! hpc-parallel guides).
+
+use crate::cache::RunCache;
+use crate::runner::{average_runs, AveragedResult, RunResult};
+use crate::scenario::ScenarioConfig;
+use rayon::prelude::*;
+
+/// Run every config for `repeats` seeds, in parallel, through the cache.
+///
+/// Results come back in the same order as `configs`.
+pub fn sweep(configs: &[ScenarioConfig], repeats: u32, cache: &RunCache) -> Vec<AveragedResult> {
+    let repeats = repeats.max(1);
+    // Flatten (config, seed) pairs for maximal parallelism.
+    let work: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
+        .collect();
+
+    let runs: Vec<(usize, RunResult)> = work
+        .par_iter()
+        .map(|&(i, seed)| (i, cache.run(&configs[i], seed)))
+        .collect();
+
+    // Regroup by config, preserving seed order.
+    let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
+    for (i, run) in runs {
+        grouped[i].push(run);
+    }
+    configs
+        .iter()
+        .zip(grouped)
+        .map(|(cfg, runs)| average_runs(*cfg, runs))
+        .collect()
+}
+
+/// Progress-reporting sweep: calls `progress(done, total)` as runs finish.
+pub fn sweep_with_progress(
+    configs: &[ScenarioConfig],
+    repeats: u32,
+    cache: &RunCache,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<AveragedResult> {
+    let repeats = repeats.max(1);
+    let work: Vec<(usize, u64)> = configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
+        .collect();
+    let total = work.len();
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+
+    let runs: Vec<(usize, RunResult)> = work
+        .par_iter()
+        .map(|&(i, seed)| {
+            let out = (i, cache.run(&configs[i], seed));
+            let done = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            progress(done, total);
+            out
+        })
+        .collect();
+
+    let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
+    for (i, run) in runs {
+        grouped[i].push(run);
+    }
+    configs
+        .iter()
+        .zip(grouped)
+        .map(|(cfg, runs)| average_runs(*cfg, runs))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{RunOptions, ScenarioConfig};
+    use elephants_aqm::AqmKind;
+    use elephants_cca::CcaKind;
+
+    fn cfgs() -> Vec<ScenarioConfig> {
+        let opts = RunOptions::quick();
+        vec![
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+            ScenarioConfig::new(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+        ]
+    }
+
+    #[test]
+    fn sweep_preserves_order_and_matches_serial() {
+        let cache = RunCache::disabled();
+        let results = sweep(&cfgs(), 1, &cache);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].config.cca1, CcaKind::Cubic);
+        assert_eq!(results[1].config.cca1, CcaKind::Reno);
+        // Parallel result equals a direct serial run (determinism).
+        let serial = crate::runner::run_scenario(&cfgs()[0], cfgs()[0].seed);
+        assert_eq!(results[0].runs[0].events, serial.events);
+    }
+
+    #[test]
+    fn progress_counts_every_run() {
+        let cache = RunCache::disabled();
+        let n = std::sync::atomic::AtomicUsize::new(0);
+        let _ = sweep_with_progress(&cfgs(), 2, &cache, |_, total| {
+            assert_eq!(total, 4);
+            n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+}

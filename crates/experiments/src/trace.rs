@@ -1,0 +1,242 @@
+//! Time-resolved experiment traces — the study's "dataset" output.
+//!
+//! The paper publishes its raw iperf3 logs so others can re-analyze the
+//! runs; it also lists "capture detailed router logs" as future work. This
+//! module provides both for the simulated study: [`run_scenario_traced`]
+//! steps the simulation on a fixed interval (via `Simulator::run_until`,
+//! so the packet-level schedule is identical to an untraced run) and
+//! samples
+//!
+//! * per-sender delivered bytes (iperf3-style interval throughput),
+//! * bottleneck queue depth in packets and bytes (the "router log"),
+//! * cumulative drops and retransmissions.
+//!
+//! Traces serialize to JSON for external analysis.
+
+use crate::scenario::ScenarioConfig;
+use elephants_aqm::build_aqm;
+use elephants_cca::build_cca_seeded;
+use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator};
+use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use elephants_workload::plan_flows;
+use serde::{Deserialize, Serialize};
+
+/// One sampling instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Sample time in seconds.
+    pub t: f64,
+    /// Per-sender goodput since the previous sample, Mbps.
+    pub sender_mbps: Vec<f64>,
+    /// Bottleneck queue depth, packets.
+    pub queue_pkts: usize,
+    /// Bottleneck queue depth, bytes.
+    pub queue_bytes: u64,
+    /// Cumulative bottleneck drops.
+    pub drops: u64,
+    /// Cumulative retransmissions across all flows.
+    pub retransmits: u64,
+}
+
+/// A full experiment trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioTrace {
+    /// The scenario that produced this trace.
+    pub config: ScenarioConfig,
+    /// Seed used.
+    pub seed: u64,
+    /// Sampling interval in seconds.
+    pub interval_s: f64,
+    /// The samples, in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl ScenarioTrace {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serializes")
+    }
+
+    /// Write JSON to `path`, creating parent directories.
+    pub fn write_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Peak queue depth in packets over the trace.
+    pub fn peak_queue_pkts(&self) -> usize {
+        self.samples.iter().map(|s| s.queue_pkts).max().unwrap_or(0)
+    }
+
+    /// Mean of the per-sample total throughput (Mbps).
+    pub fn mean_total_mbps(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .iter()
+            .map(|s| s.sender_mbps.iter().sum::<f64>())
+            .sum::<f64>()
+            / self.samples.len() as f64
+    }
+}
+
+/// Run a scenario while sampling the bottleneck every `interval`.
+///
+/// The event schedule is identical to [`crate::runner::run_scenario`] for
+/// the same `(cfg, seed)` — stepping with `run_until` does not inject
+/// events — so traces are faithful views of the untraced runs.
+pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuration) -> ScenarioTrace {
+    assert!(!interval.is_zero(), "sampling interval must be positive");
+    let bw = cfg.bandwidth();
+    let spec = DumbbellSpec::paper_with_rtt(bw, cfg.rtt());
+    let mut topo = spec.build();
+    topo.set_bottleneck_aqm(build_aqm(cfg.aqm, cfg.queue_bytes(), cfg.bw_bps, cfg.mss, cfg.ecn, seed));
+
+    let sim_cfg = SimConfig { duration: cfg.duration, warmup: cfg.warmup, max_events: u64::MAX };
+    let mut sim = Simulator::new(topo, sim_cfg, seed);
+
+    let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
+    let mut flow_sender: Vec<usize> = Vec::new();
+    for (sender_idx, starts) in plan.starts.iter().enumerate() {
+        let kind = if sender_idx == 0 { cfg.cca1 } else { cfg.cca2 };
+        let s_node = spec.sender(sender_idx);
+        let r_node = spec.receiver(sender_idx);
+        for (i, &start) in starts.iter().enumerate() {
+            let flow_seed = seed
+                .wrapping_mul(0x100000001B3)
+                .wrapping_add((sender_idx as u64) << 32 | i as u64);
+            let cca = build_cca_seeded(kind, cfg.mss, flow_seed);
+            let tx = TcpSender::new(
+                SenderConfig { mss: cfg.mss, ecn: cfg.ecn, ..Default::default() },
+                r_node,
+                cca,
+            );
+            let rx = TcpReceiver::new(ReceiverConfig::default(), s_node);
+            sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start);
+            flow_sender.push(sender_idx);
+        }
+    }
+
+    let bn = sim.topology().bottleneck_link().expect("dumbbell bottleneck");
+    let mut samples = Vec::new();
+    let mut prev_delivered: Vec<u64> = vec![0; 2];
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + cfg.duration;
+    while t < end {
+        t = (t + interval).min(end);
+        sim.run_until(t);
+
+        let mut delivered: Vec<u64> = vec![0; 2];
+        let mut retransmits = 0u64;
+        for (idx, &sender_idx) in flow_sender.iter().enumerate() {
+            let flow = elephants_netsim::FlowId(idx as u32);
+            let rx = sim
+                .receiver(flow)
+                .as_any()
+                .downcast_ref::<TcpReceiver>()
+                .expect("receiver endpoint");
+            delivered[sender_idx] += rx.delivered_bytes();
+            let tx = sim
+                .sender(flow)
+                .as_any()
+                .downcast_ref::<TcpSender>()
+                .expect("sender endpoint");
+            retransmits += tx.retransmits();
+        }
+        let link = sim.topology().link(bn);
+        samples.push(TraceSample {
+            t: t.as_secs_f64(),
+            sender_mbps: delivered
+                .iter()
+                .zip(&prev_delivered)
+                .map(|(&d, &p)| (d - p) as f64 * 8.0 / interval.as_secs_f64() / 1e6)
+                .collect(),
+            queue_pkts: link.aqm.backlog_pkts(),
+            queue_bytes: link.aqm.backlog_bytes(),
+            drops: link.aqm_stats().dropped_total(),
+            retransmits,
+        });
+        prev_delivered = delivered;
+    }
+
+    ScenarioTrace {
+        config: *cfg,
+        seed,
+        interval_s: interval.as_secs_f64(),
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_scenario;
+    use crate::scenario::RunOptions;
+    use elephants_aqm::AqmKind;
+    use elephants_cca::CcaKind;
+
+    fn cfg() -> ScenarioConfig {
+        ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            100_000_000,
+            &RunOptions::quick(),
+        )
+    }
+
+    #[test]
+    fn trace_covers_full_duration() {
+        let trace = run_scenario_traced(&cfg(), 1, SimDuration::from_millis(500));
+        let expect = (cfg().duration.as_secs_f64() / 0.5).round() as usize;
+        assert_eq!(trace.samples.len(), expect);
+        let last = trace.samples.last().unwrap();
+        assert!((last.t - cfg().duration.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_totals() {
+        // Stepping must not perturb the simulation: cumulative drops at the
+        // end of the trace equal the untraced run's drop count.
+        let c = cfg();
+        let untraced = run_scenario(&c, 3);
+        let trace = run_scenario_traced(&c, 3, SimDuration::from_millis(250));
+        assert_eq!(trace.samples.last().unwrap().drops, untraced.drops);
+    }
+
+    #[test]
+    fn throughput_series_sums_close_to_goodput() {
+        let c = cfg();
+        let trace = run_scenario_traced(&c, 1, SimDuration::from_millis(500));
+        let total: f64 = trace
+            .samples
+            .iter()
+            .map(|s| s.sender_mbps.iter().sum::<f64>() * 0.5 / 8.0 * 1e6)
+            .sum();
+        // Total delivered bytes (approx) must be within a few percent of
+        // capacity x duration for a healthy CUBIC pair.
+        let capacity = 100e6 / 8.0 * c.duration.as_secs_f64();
+        assert!(total > 0.5 * capacity, "delivered {total} vs capacity {capacity}");
+        assert!(total < 1.05 * capacity);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = run_scenario_traced(&cfg(), 1, SimDuration::from_secs(1));
+        let json = trace.to_json();
+        let back: ScenarioTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.samples.len(), trace.samples.len());
+        assert_eq!(back.seed, trace.seed);
+    }
+
+    #[test]
+    fn queue_depth_is_sampled() {
+        let trace = run_scenario_traced(&cfg(), 1, SimDuration::from_millis(200));
+        assert!(trace.peak_queue_pkts() > 0, "CUBIC must build a queue");
+    }
+}

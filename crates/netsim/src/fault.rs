@@ -1,0 +1,139 @@
+//! Link fault injection.
+//!
+//! The paper's future work calls for observing behaviour "under network
+//! anomalies (e.g. variable rates of packet loss)". [`LossModel`] implements
+//! that extension: a per-link random-loss process applied to packets after
+//! serialization (i.e. in-flight corruption, invisible to the AQM).
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// A random packet-loss process on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LossModel {
+    /// No induced loss (the default).
+    #[default]
+    None,
+    /// Independent Bernoulli loss with probability `p` per packet.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Gilbert–Elliott two-state burst-loss model.
+    ///
+    /// In the Good state packets always survive; in the Bad state they are
+    /// always lost. `p_gb` is the per-packet probability of Good→Bad and
+    /// `p_bg` of Bad→Good.
+    GilbertElliott {
+        /// P(Good → Bad) per packet.
+        p_gb: f64,
+        /// P(Bad → Good) per packet.
+        p_bg: f64,
+    },
+}
+
+impl LossModel {
+    /// Validate probabilities are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |p: f64| (0.0..=1.0).contains(&p);
+        match *self {
+            LossModel::None => Ok(()),
+            LossModel::Bernoulli { p } if ok(p) => Ok(()),
+            LossModel::GilbertElliott { p_gb, p_bg } if ok(p_gb) && ok(p_bg) => Ok(()),
+            _ => Err(format!("loss model probability out of [0,1]: {self:?}")),
+        }
+    }
+}
+
+/// Runtime state for a [`LossModel`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LossState {
+    in_bad_state: bool,
+    /// Number of packets dropped by fault injection.
+    pub losses: u64,
+}
+
+impl LossState {
+    /// Decide whether the next packet is lost.
+    pub fn should_drop(&mut self, model: &LossModel, rng: &mut SmallRng) -> bool {
+        let drop = match *model {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => p > 0.0 && rng.random::<f64>() < p,
+            LossModel::GilbertElliott { p_gb, p_bg } => {
+                if self.in_bad_state {
+                    if rng.random::<f64>() < p_bg {
+                        self.in_bad_state = false;
+                    }
+                } else if rng.random::<f64>() < p_gb {
+                    self.in_bad_state = true;
+                }
+                self.in_bad_state
+            }
+        };
+        if drop {
+            self.losses += 1;
+        }
+        drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_never_drops() {
+        let mut st = LossState::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(!st.should_drop(&LossModel::None, &mut rng));
+        }
+        assert_eq!(st.losses, 0);
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut st = LossState::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let model = LossModel::Bernoulli { p: 0.05 };
+        let mut drops = 0;
+        for _ in 0..n {
+            if st.should_drop(&model, &mut rng) {
+                drops += 1;
+            }
+        }
+        let rate = drops as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate {rate}");
+        assert_eq!(st.losses, drops);
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursts() {
+        let mut st = LossState::default();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = LossModel::GilbertElliott { p_gb: 0.01, p_bg: 0.2 };
+        let mut runs = vec![];
+        let mut cur = 0u32;
+        for _ in 0..200_000 {
+            if st.should_drop(&model, &mut rng) {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        // Mean burst length should approach 1/p_bg = 5.
+        let mean = runs.iter().copied().sum::<u32>() as f64 / runs.len() as f64;
+        assert!(mean > 3.0 && mean < 7.0, "mean burst {mean}");
+    }
+
+    #[test]
+    fn validate_rejects_bad_probability() {
+        assert!(LossModel::Bernoulli { p: 1.5 }.validate().is_err());
+        assert!(LossModel::Bernoulli { p: 0.5 }.validate().is_ok());
+        assert!(LossModel::GilbertElliott { p_gb: -0.1, p_bg: 0.5 }.validate().is_err());
+    }
+}

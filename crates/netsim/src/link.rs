@@ -1,0 +1,235 @@
+//! Unidirectional links: serialization, propagation, egress queueing.
+
+use crate::event::{Event, EventQueue};
+use crate::fault::{LossModel, LossState};
+use crate::packet::{NodeId, Packet};
+use crate::queue::{Aqm, AqmStats, DropTail};
+use crate::time::{SimDuration, SimTime};
+use crate::units::Bandwidth;
+use rand::rngs::SmallRng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a link within the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Declarative description of a link (rate + propagation delay).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Serialization rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub prop: SimDuration,
+}
+
+impl LinkSpec {
+    /// Construct a link spec.
+    pub fn new(rate: Bandwidth, prop: SimDuration) -> Self {
+        LinkSpec { rate, prop }
+    }
+}
+
+/// Byte/packet counters for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets fully serialized onto the wire.
+    pub pkts_tx: u64,
+    /// Bytes fully serialized onto the wire.
+    pub bytes_tx: u64,
+    /// Packets destroyed by fault injection after transmission.
+    pub fault_losses: u64,
+}
+
+/// A unidirectional link with an egress queue discipline.
+pub struct Link {
+    /// This link's index.
+    pub id: LinkId,
+    /// Node that transmits onto this link.
+    pub src: NodeId,
+    /// Node that receives from this link.
+    pub dst: NodeId,
+    /// Serialization rate.
+    pub rate: Bandwidth,
+    /// One-way propagation delay.
+    pub prop: SimDuration,
+    /// Egress queue discipline.
+    pub aqm: Box<dyn Aqm>,
+    /// Random in-flight loss (fault-injection extension; defaults to none).
+    pub loss_model: LossModel,
+    loss_state: LossState,
+    busy: bool,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Create a link with the given queue discipline.
+    pub fn new(id: LinkId, src: NodeId, dst: NodeId, spec: LinkSpec, aqm: Box<dyn Aqm>) -> Self {
+        Link {
+            id,
+            src,
+            dst,
+            rate: spec.rate,
+            prop: spec.prop,
+            aqm,
+            loss_model: LossModel::None,
+            loss_state: LossState::default(),
+            busy: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Create a link with an effectively unlimited droptail queue — used for
+    /// the non-bottleneck access links of the dumbbell.
+    pub fn with_big_fifo(id: LinkId, src: NodeId, dst: NodeId, spec: LinkSpec) -> Self {
+        // 1 GiB of buffer: large enough never to drop on a 25G access link
+        // in these experiments, mirroring host ring buffers + switch fabric.
+        Link::new(id, src, dst, spec, Box::new(DropTail::new(1 << 30)))
+    }
+
+    /// Offer a packet to this link's egress queue, starting transmission if
+    /// the transmitter is idle.
+    pub fn offer(&mut self, pkt: Packet, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        match self.aqm.enqueue(pkt, now, rng) {
+            crate::queue::Verdict::Dropped => {}
+            _ => {
+                if !self.busy {
+                    self.start_tx(now, events, rng);
+                }
+            }
+        }
+    }
+
+    /// Called when serialization of the current packet completes.
+    pub fn on_tx_done(&mut self, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        self.busy = false;
+        self.start_tx(now, events, rng);
+    }
+
+    fn start_tx(&mut self, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        debug_assert!(!self.busy);
+        let res = self.aqm.dequeue(now, rng);
+        let Some(pkt) = res.pkt else { return };
+        let ser = self.rate.serialization_time(pkt.size as u64);
+        self.busy = true;
+        self.stats.pkts_tx += 1;
+        self.stats.bytes_tx += pkt.size as u64;
+        events.schedule(now + ser, Event::LinkTxDone { link: self.id });
+        let lost = self.loss_state.should_drop(&self.loss_model, rng);
+        if lost {
+            self.stats.fault_losses += 1;
+        } else {
+            events.schedule(now + ser + self.prop, Event::Deliver { node: self.dst, pkt });
+        }
+    }
+
+    /// Transmission counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Queue-discipline counters.
+    pub fn aqm_stats(&self) -> AqmStats {
+        self.aqm.stats()
+    }
+
+    /// Whether the transmitter is currently serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("rate", &self.rate)
+            .field("prop", &self.prop)
+            .field("aqm", &self.aqm.name())
+            .field("busy", &self.busy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use rand::SeedableRng;
+
+    fn mk_link(rate_mbps: u64, prop_ms: u64) -> Link {
+        Link::with_big_fifo(
+            LinkId(0),
+            NodeId(0),
+            NodeId(1),
+            LinkSpec::new(Bandwidth::from_mbps(rate_mbps), SimDuration::from_millis(prop_ms)),
+        )
+    }
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)
+    }
+
+    #[test]
+    fn single_packet_schedules_txdone_and_deliver() {
+        let mut link = mk_link(10, 5);
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        // 1250 B at 10 Mbps = 1 ms serialization.
+        let (t1, e1) = ev.pop().unwrap();
+        assert_eq!(t1, SimTime::from_nanos(1_000_000));
+        assert!(matches!(e1, Event::LinkTxDone { .. }));
+        let (t2, e2) = ev.pop().unwrap();
+        assert_eq!(t2, SimTime::from_nanos(6_000_000)); // + 5 ms prop
+        match e2 {
+            Event::Deliver { node, pkt } => {
+                assert_eq!(node, NodeId(1));
+                assert_eq!(pkt.seq, 0);
+            }
+            _ => panic!("expected Deliver"),
+        }
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize_sequentially() {
+        let mut link = mk_link(10, 0);
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        link.offer(pkt(1, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        // Only the first TxDone/Deliver pair exists until TxDone is handled.
+        let (t1, _) = ev.pop().unwrap(); // TxDone at 1 ms
+        let (_, _) = ev.pop().unwrap(); // Deliver pkt0 at 1 ms (prop 0)
+        assert_eq!(t1, SimTime::from_nanos(1_000_000));
+        link.on_tx_done(t1, &mut ev, &mut rng);
+        let (t2, _) = ev.pop().unwrap(); // TxDone pkt1 at 2 ms
+        assert_eq!(t2, SimTime::from_nanos(2_000_000));
+        assert_eq!(link.stats().pkts_tx, 2);
+        assert_eq!(link.stats().bytes_tx, 2500);
+    }
+
+    #[test]
+    fn fault_loss_drops_delivery_but_not_txdone() {
+        let mut link = mk_link(10, 0);
+        link.loss_model = LossModel::Bernoulli { p: 1.0 };
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        let (_, e1) = ev.pop().unwrap();
+        assert!(matches!(e1, Event::LinkTxDone { .. }));
+        assert!(ev.pop().is_none(), "delivery must be suppressed");
+        assert_eq!(link.stats().fault_losses, 1);
+    }
+
+    #[test]
+    fn idle_txdone_is_harmless() {
+        let mut link = mk_link(10, 0);
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.on_tx_done(SimTime::ZERO, &mut ev, &mut rng);
+        assert!(ev.is_empty());
+        assert!(!link.is_busy());
+    }
+}

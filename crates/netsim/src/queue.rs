@@ -1,0 +1,215 @@
+//! The queue-discipline (AQM) interface and the basic droptail queue.
+//!
+//! Concrete disciplines — RED, CoDel, FQ-CoDel — live in the
+//! `elephants-aqm` crate; the trait lives here so that [`crate::link::Link`]
+//! can own a `Box<dyn Aqm>` without a dependency cycle.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Packet accepted.
+    Enqueued,
+    /// Packet accepted and ECN-marked (Congestion Experienced).
+    Marked,
+    /// Packet dropped.
+    Dropped,
+}
+
+/// Outcome of a dequeue attempt.
+///
+/// Disciplines like CoDel drop *at dequeue time*; `dropped` reports how many
+/// packets were discarded while finding `pkt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DequeueResult {
+    /// The packet to transmit next, if the queue is non-empty.
+    pub pkt: Option<Packet>,
+    /// Packets dropped during this dequeue operation.
+    pub dropped: u32,
+}
+
+impl DequeueResult {
+    /// An empty result (queue empty, nothing dropped).
+    pub const EMPTY: DequeueResult = DequeueResult { pkt: None, dropped: 0 };
+}
+
+/// Aggregate counters every discipline maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AqmStats {
+    /// Packets accepted into the queue.
+    pub enqueued: u64,
+    /// Packets dropped on enqueue (taildrop / RED early drop / overflow).
+    pub dropped_enqueue: u64,
+    /// Packets dropped at dequeue (CoDel-style).
+    pub dropped_dequeue: u64,
+    /// Packets ECN-marked instead of dropped.
+    pub marked: u64,
+    /// Packets handed to the link for transmission.
+    pub dequeued: u64,
+}
+
+impl AqmStats {
+    /// Total packets dropped by the discipline.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_enqueue + self.dropped_dequeue
+    }
+}
+
+/// A queue discipline on a link's egress.
+///
+/// Implementations must be deterministic given the same call sequence and
+/// RNG state; all randomness must come from the supplied `SmallRng`.
+pub trait Aqm: Send {
+    /// Offer `pkt` to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: SimTime, rng: &mut SmallRng) -> Verdict;
+
+    /// Remove the next packet to transmit at time `now`.
+    fn dequeue(&mut self, now: SimTime, rng: &mut SmallRng) -> DequeueResult;
+
+    /// Bytes currently queued.
+    fn backlog_bytes(&self) -> u64;
+
+    /// Packets currently queued.
+    fn backlog_pkts(&self) -> usize;
+
+    /// Counters.
+    fn stats(&self) -> AqmStats;
+
+    /// Discipline name for reports (e.g. `"fifo"`, `"red"`, `"fq_codel"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Plain droptail FIFO with a byte limit (`pfifo`/`bfifo` semantics).
+///
+/// This is both the paper's "FIFO" AQM and the default queue on
+/// non-bottleneck links.
+#[derive(Debug)]
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    limit_bytes: u64,
+    backlog: u64,
+    stats: AqmStats,
+}
+
+impl DropTail {
+    /// A droptail queue holding at most `limit_bytes` of packets.
+    pub fn new(limit_bytes: u64) -> Self {
+        assert!(limit_bytes > 0, "droptail limit must be positive");
+        DropTail { queue: VecDeque::new(), limit_bytes, backlog: 0, stats: AqmStats::default() }
+    }
+
+    /// The configured byte limit.
+    pub fn limit_bytes(&self) -> u64 {
+        self.limit_bytes
+    }
+}
+
+impl Aqm for DropTail {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime, _rng: &mut SmallRng) -> Verdict {
+        if self.backlog + pkt.size as u64 > self.limit_bytes {
+            self.stats.dropped_enqueue += 1;
+            return Verdict::Dropped;
+        }
+        pkt.enqueued_at = now;
+        self.backlog += pkt.size as u64;
+        self.queue.push_back(pkt);
+        self.stats.enqueued += 1;
+        Verdict::Enqueued
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _rng: &mut SmallRng) -> DequeueResult {
+        match self.queue.pop_front() {
+            Some(pkt) => {
+                self.backlog -= pkt.size as u64;
+                self.stats.dequeued += 1;
+                DequeueResult { pkt: Some(pkt), dropped: 0 }
+            }
+            None => DequeueResult::EMPTY,
+        }
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog
+    }
+
+    fn backlog_pkts(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> AqmStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+    use rand::SeedableRng;
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTail::new(1_000_000);
+        let mut r = rng();
+        for i in 0..5 {
+            assert_eq!(q.enqueue(pkt(i, 100), SimTime::ZERO, &mut r), Verdict::Enqueued);
+        }
+        for i in 0..5 {
+            let got = q.dequeue(SimTime::ZERO, &mut r).pkt.unwrap();
+            assert_eq!(got.seq, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO, &mut r).pkt.is_none());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = DropTail::new(250);
+        let mut r = rng();
+        assert_eq!(q.enqueue(pkt(0, 100), SimTime::ZERO, &mut r), Verdict::Enqueued);
+        assert_eq!(q.enqueue(pkt(1, 100), SimTime::ZERO, &mut r), Verdict::Enqueued);
+        // Third packet would exceed 250 bytes.
+        assert_eq!(q.enqueue(pkt(2, 100), SimTime::ZERO, &mut r), Verdict::Dropped);
+        assert_eq!(q.stats().dropped_enqueue, 1);
+        assert_eq!(q.backlog_bytes(), 200);
+        assert_eq!(q.backlog_pkts(), 2);
+    }
+
+    #[test]
+    fn backlog_accounting_exact() {
+        let mut q = DropTail::new(10_000);
+        let mut r = rng();
+        q.enqueue(pkt(0, 1500), SimTime::ZERO, &mut r);
+        q.enqueue(pkt(1, 72), SimTime::ZERO, &mut r);
+        assert_eq!(q.backlog_bytes(), 1572);
+        q.dequeue(SimTime::ZERO, &mut r);
+        assert_eq!(q.backlog_bytes(), 72);
+        q.dequeue(SimTime::ZERO, &mut r);
+        assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn enqueue_stamps_time() {
+        let mut q = DropTail::new(10_000);
+        let mut r = rng();
+        let t = SimTime::from_nanos(999);
+        q.enqueue(pkt(0, 100), t, &mut r);
+        let got = q.dequeue(t, &mut r).pkt.unwrap();
+        assert_eq!(got.enqueued_at, t);
+    }
+}

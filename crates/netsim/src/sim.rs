@@ -1,0 +1,605 @@
+//! The simulator: event loop, endpoint dispatch, run summaries.
+
+use crate::event::{Event, EventQueue, TimerKind};
+use crate::link::LinkId;
+use crate::packet::{Dir, FlowId, NodeId, Packet};
+use crate::queue::AqmStats;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+
+/// What a protocol endpoint reports at the end of a run.
+///
+/// Senders fill the transmit-side counters; receivers fill the
+/// delivery-side counters. "Window" values count only what happened after
+/// the warmup mark — the measurement window the study averages over.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EndpointReport {
+    /// Data segments transmitted (including retransmissions).
+    pub data_segments_sent: u64,
+    /// Retransmitted segments (total).
+    pub retransmits: u64,
+    /// Retransmitted segments inside the measurement window.
+    pub retransmits_window: u64,
+    /// Retransmission timeouts fired.
+    pub rto_count: u64,
+    /// In-order payload bytes delivered to the application (total).
+    pub delivered_bytes: u64,
+    /// In-order payload bytes delivered inside the measurement window.
+    pub delivered_bytes_window: u64,
+    /// In-order segments delivered (total).
+    pub delivered_segments: u64,
+    /// Minimum RTT sample observed.
+    pub min_rtt: Option<SimDuration>,
+    /// Final smoothed RTT.
+    pub srtt: Option<SimDuration>,
+    /// Final congestion window in bytes (sender side).
+    pub final_cwnd: u64,
+    /// ECN CE marks seen (receiver) or echoes processed (sender).
+    pub ecn_marks: u64,
+}
+
+/// A protocol endpoint attached to a host: one side of one flow.
+///
+/// The `elephants-tcp` crate implements this for TCP senders and receivers;
+/// tests implement toy protocols directly.
+pub trait FlowEndpoint: Send {
+    /// The flow is starting (sender begins transmitting).
+    fn on_start(&mut self, ctx: &mut Ctx);
+
+    /// A packet addressed to this endpoint arrived.
+    fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx);
+
+    /// A timer set through [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx);
+
+    /// The measurement window begins: snapshot counters.
+    fn on_mark(&mut self, _now: SimTime) {}
+
+    /// Final counters for the run summary.
+    fn report(&self) -> EndpointReport;
+
+    /// Downcasting hook so experiment code can read protocol-specific state.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Per-event context handed to endpoints.
+pub struct Ctx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The flow this endpoint belongs to.
+    pub flow: FlowId,
+    /// Which side of the flow this endpoint is.
+    pub dir: Dir,
+    /// The host node this endpoint lives on.
+    pub local: NodeId,
+    /// The host node of the peer endpoint.
+    pub peer: NodeId,
+    /// Deterministic per-run RNG.
+    pub rng: &'a mut SmallRng,
+    emitted: &'a mut Vec<Packet>,
+    timers: &'a mut Vec<(TimerKind, SimTime)>,
+}
+
+impl Ctx<'_> {
+    /// Transmit `pkt` from the local host now.
+    #[inline]
+    pub fn send(&mut self, pkt: Packet) {
+        self.emitted.push(pkt);
+    }
+
+    /// Arrange for [`FlowEndpoint::on_timer`] to be called at `at`.
+    ///
+    /// Timers are not cancellable; endpoints must ignore stale firings
+    /// (compare against their stored deadline).
+    #[inline]
+    pub fn set_timer(&mut self, kind: TimerKind, at: SimTime) {
+        debug_assert!(at >= self.now, "timer set in the past");
+        self.timers.push((kind, at));
+    }
+}
+
+struct FlowSlot {
+    sender_node: NodeId,
+    receiver_node: NodeId,
+    sender: Box<dyn FlowEndpoint>,
+    receiver: Box<dyn FlowEndpoint>,
+    start: SimTime,
+}
+
+/// Run-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Time at which the measurement window opens.
+    pub warmup: SimDuration,
+    /// Hard cap on processed events (runaway protection).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration: SimDuration::from_secs(20),
+            warmup: SimDuration::from_secs(2),
+            max_events: u64::MAX,
+        }
+    }
+}
+
+/// Per-flow slice of a [`RunSummary`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlowReport {
+    /// The flow.
+    pub flow: FlowId,
+    /// Host the sender ran on.
+    pub sender_node: NodeId,
+    /// Sender-side counters.
+    pub sender: EndpointReport,
+    /// Receiver-side counters.
+    pub receiver: EndpointReport,
+}
+
+impl FlowReport {
+    /// Goodput over the measurement window, bits per second.
+    pub fn window_goodput_bps(&self, window: SimDuration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.receiver.delivered_bytes_window as f64 * 8.0 / window.as_secs_f64()
+    }
+}
+
+/// Bottleneck-link counters over the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BottleneckReport {
+    /// Bytes serialized over the whole run.
+    pub bytes_tx_total: u64,
+    /// Bytes serialized inside the measurement window.
+    pub bytes_tx_window: u64,
+    /// Queue-discipline counters (whole run).
+    pub aqm: AqmStats,
+    /// Packets destroyed by fault injection.
+    pub fault_losses: u64,
+}
+
+/// Everything measured in one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Per-flow reports, indexed by flow id.
+    pub flows: Vec<FlowReport>,
+    /// Bottleneck-link counters.
+    pub bottleneck: BottleneckReport,
+    /// Length of the measurement window.
+    pub window: SimDuration,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Events processed.
+    pub events_processed: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// Owns the topology, the flows and the event queue; `run()` drives
+/// everything to completion deterministically.
+pub struct Simulator {
+    topo: Topology,
+    flows: Vec<FlowSlot>,
+    events: EventQueue,
+    rng: SmallRng,
+    cfg: SimConfig,
+    now: SimTime,
+    marked: bool,
+    started: bool,
+    processed: u64,
+    mark_bytes_bottleneck: u64,
+    scratch_pkts: Vec<Packet>,
+    scratch_timers: Vec<(TimerKind, SimTime)>,
+}
+
+impl Simulator {
+    /// Create a simulator over `topo` with deterministic seed `seed`.
+    pub fn new(topo: Topology, cfg: SimConfig, seed: u64) -> Self {
+        assert!(cfg.warmup <= cfg.duration, "warmup longer than run");
+        Simulator {
+            topo,
+            flows: Vec::new(),
+            events: EventQueue::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            cfg,
+            now: SimTime::ZERO,
+            marked: false,
+            started: false,
+            processed: 0,
+            mark_bytes_bottleneck: 0,
+            scratch_pkts: Vec::with_capacity(64),
+            scratch_timers: Vec::with_capacity(8),
+        }
+    }
+
+    /// Access the topology (e.g. to install the bottleneck AQM).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topo
+    }
+
+    /// Shared access to the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Register a flow between two host nodes; returns its id.
+    ///
+    /// The flow starts (sender's `on_start`) at `start`.
+    pub fn add_flow(
+        &mut self,
+        sender_node: NodeId,
+        receiver_node: NodeId,
+        sender: Box<dyn FlowEndpoint>,
+        receiver: Box<dyn FlowEndpoint>,
+        start: SimTime,
+    ) -> FlowId {
+        let id = FlowId(self.flows.len() as u32);
+        self.flows.push(FlowSlot { sender_node, receiver_node, sender, receiver, start });
+        id
+    }
+
+    /// Number of registered flows.
+    pub fn n_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Borrow a flow's sender endpoint (for downcasting in tests/analysis).
+    pub fn sender(&self, flow: FlowId) -> &dyn FlowEndpoint {
+        self.flows[flow.0 as usize].sender.as_ref()
+    }
+
+    /// Borrow a flow's receiver endpoint.
+    pub fn receiver(&self, flow: FlowId) -> &dyn FlowEndpoint {
+        self.flows[flow.0 as usize].receiver.as_ref()
+    }
+
+    fn start_flows_once(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for (i, slot) in self.flows.iter().enumerate() {
+            self.events.schedule(
+                slot.start,
+                Event::Timer { flow: FlowId(i as u32), dir: Dir::Sender, kind: TimerKind::Start },
+            );
+        }
+    }
+
+    /// Advance the simulation up to (and including) time `until`.
+    ///
+    /// Can be called repeatedly with increasing times to step the
+    /// simulation and inspect state in between (endpoints, link/queue
+    /// stats). `run()` drives this to `cfg.duration` and builds the
+    /// summary.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start_flows_once();
+        let mark_at = SimTime::ZERO + self.cfg.warmup;
+        while let Some(at) = self.events.peek_time() {
+            if at > until {
+                break;
+            }
+            if self.processed >= self.cfg.max_events {
+                break;
+            }
+            let (at, ev) = self.events.pop().expect("peeked");
+            if !self.marked && at >= mark_at {
+                self.do_mark(mark_at);
+            }
+            self.now = at;
+            self.processed += 1;
+            match ev {
+                Event::LinkTxDone { link } => {
+                    let now = self.now;
+                    self.topo.link_mut(link).on_tx_done(now, &mut self.events, &mut self.rng);
+                }
+                Event::Deliver { node, pkt } => self.deliver(node, pkt),
+                Event::Timer { flow, dir, kind } => {
+                    self.dispatch(flow, dir, |ep, ctx| match kind {
+                        TimerKind::Start => ep.on_start(ctx),
+                        k => ep.on_timer(k, ctx),
+                    });
+                }
+            }
+        }
+        self.now = until.max(self.now);
+    }
+
+    /// Run to completion and produce the summary.
+    pub fn run(&mut self) -> RunSummary {
+        let end = SimTime::ZERO + self.cfg.duration;
+        self.run_until(end);
+        // A run shorter than the warmup still needs a (degenerate) mark.
+        if !self.marked {
+            self.do_mark(SimTime::ZERO + self.cfg.warmup);
+        }
+        self.now = end;
+        self.summary(self.processed)
+    }
+
+    fn do_mark(&mut self, at: SimTime) {
+        self.marked = true;
+        for slot in &mut self.flows {
+            slot.sender.on_mark(at);
+            slot.receiver.on_mark(at);
+        }
+        if let Some(bn) = self.topo.bottleneck_link() {
+            self.mark_bytes_bottleneck = self.topo.link(bn).stats().bytes_tx;
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        use crate::topology::NodeKind;
+        match self.topo.kind(node) {
+            NodeKind::Router => {
+                let Some(link) = self.topo.route(node, pkt.dst) else {
+                    debug_assert!(false, "no route from {node:?} to {:?}", pkt.dst);
+                    return;
+                };
+                let now = self.now;
+                self.topo.link_mut(link).offer(pkt, now, &mut self.events, &mut self.rng);
+            }
+            NodeKind::Host => {
+                debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
+                // Data packets go to the receiver endpoint, ACKs to the sender.
+                let dir = if pkt.is_data() { Dir::Receiver } else { Dir::Sender };
+                self.dispatch(pkt.flow, dir, |ep, ctx| ep.on_packet(&pkt, ctx));
+            }
+        }
+    }
+
+    fn dispatch(&mut self, flow: FlowId, dir: Dir, f: impl FnOnce(&mut dyn FlowEndpoint, &mut Ctx)) {
+        let mut emitted = std::mem::take(&mut self.scratch_pkts);
+        let mut timers = std::mem::take(&mut self.scratch_timers);
+        let (local, _peer);
+        {
+            let slot = &mut self.flows[flow.0 as usize];
+            let (ep, l, p) = match dir {
+                Dir::Sender => (slot.sender.as_mut(), slot.sender_node, slot.receiver_node),
+                Dir::Receiver => (slot.receiver.as_mut(), slot.receiver_node, slot.sender_node),
+            };
+            local = l;
+            _peer = p;
+            let mut ctx = Ctx {
+                now: self.now,
+                flow,
+                dir,
+                local: l,
+                peer: p,
+                rng: &mut self.rng,
+                emitted: &mut emitted,
+                timers: &mut timers,
+            };
+            f(ep, &mut ctx);
+        }
+        for (kind, at) in timers.drain(..) {
+            self.events.schedule(at, Event::Timer { flow, dir, kind });
+        }
+        for pkt in emitted.drain(..) {
+            let Some(link) = self.topo.route(local, pkt.dst) else {
+                debug_assert!(false, "no route from host {local:?} to {:?}", pkt.dst);
+                continue;
+            };
+            let now = self.now;
+            self.topo.link_mut(link).offer(pkt, now, &mut self.events, &mut self.rng);
+        }
+        self.scratch_pkts = emitted;
+        self.scratch_timers = timers;
+    }
+
+    fn summary(&self, processed: u64) -> RunSummary {
+        let flows = self
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| FlowReport {
+                flow: FlowId(i as u32),
+                sender_node: slot.sender_node,
+                sender: slot.sender.report(),
+                receiver: slot.receiver.report(),
+            })
+            .collect();
+        let bottleneck = match self.topo.bottleneck_link() {
+            Some(bn) => {
+                let link = self.topo.link(bn);
+                BottleneckReport {
+                    bytes_tx_total: link.stats().bytes_tx,
+                    bytes_tx_window: link.stats().bytes_tx - self.mark_bytes_bottleneck,
+                    aqm: link.aqm_stats(),
+                    fault_losses: link.stats().fault_losses,
+                }
+            }
+            None => BottleneckReport::default(),
+        };
+        RunSummary {
+            flows,
+            bottleneck,
+            window: self.cfg.duration - self.cfg.warmup,
+            duration: self.cfg.duration,
+            events_processed: processed,
+        }
+    }
+}
+
+/// Identify the bottleneck link id of a simulator (convenience).
+pub fn bottleneck_of(sim: &Simulator) -> Option<LinkId> {
+    sim.topology().bottleneck_link()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::packet::{AckInfo, PacketKind};
+    use crate::topology::DumbbellSpec;
+    use crate::units::Bandwidth;
+
+    /// A toy sender: blasts `n` fixed-size segments at start, counts ACKs.
+    struct BlastSender {
+        peer: NodeId,
+        n: u64,
+        size: u32,
+        acked: u64,
+        report: EndpointReport,
+    }
+
+    impl FlowEndpoint for BlastSender {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for seq in 0..self.n {
+                let pkt = Packet::data(ctx.flow, ctx.local, self.peer, seq, self.size, ctx.now);
+                ctx.send(pkt);
+                self.report.data_segments_sent += 1;
+            }
+        }
+        fn on_packet(&mut self, pkt: &Packet, _ctx: &mut Ctx) {
+            if let PacketKind::Ack(info) = pkt.kind {
+                self.acked = self.acked.max(info.cum);
+            }
+        }
+        fn on_timer(&mut self, _k: TimerKind, _ctx: &mut Ctx) {}
+        fn report(&self) -> EndpointReport {
+            self.report
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    /// A toy receiver: acks every data packet cumulatively (in-order only).
+    struct CountingReceiver {
+        peer: NodeId,
+        next: u64,
+        report: EndpointReport,
+    }
+
+    impl FlowEndpoint for CountingReceiver {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+            if pkt.is_data() {
+                if pkt.seq == self.next {
+                    self.next += 1;
+                    self.report.delivered_segments += 1;
+                    self.report.delivered_bytes += pkt.size as u64;
+                }
+                let ack = Packet::ack(
+                    ctx.flow,
+                    ctx.local,
+                    self.peer,
+                    pkt.seq,
+                    AckInfo::cumulative(self.next),
+                    ctx.now,
+                );
+                ctx.send(ack);
+            }
+        }
+        fn on_timer(&mut self, _k: TimerKind, _ctx: &mut Ctx) {}
+        fn report(&self) -> EndpointReport {
+            self.report
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn build_sim() -> Simulator {
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let topo = spec.build();
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::ZERO,
+            max_events: u64::MAX,
+        };
+        Simulator::new(topo, cfg, 42)
+    }
+
+    fn add_blast(sim: &mut Simulator, pair: usize, n: u64) -> FlowId {
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let s = spec.sender(pair);
+        let r = spec.receiver(pair);
+        sim.add_flow(
+            s,
+            r,
+            Box::new(BlastSender { peer: r, n, size: 1250, acked: 0, report: Default::default() }),
+            Box::new(CountingReceiver { peer: s, next: 0, report: Default::default() }),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn end_to_end_delivery_and_ack() {
+        let mut sim = build_sim();
+        let flow = add_blast(&mut sim, 0, 10);
+        let summary = sim.run();
+        let rep = &summary.flows[flow.0 as usize];
+        assert_eq!(rep.receiver.delivered_segments, 10);
+        assert_eq!(rep.receiver.delivered_bytes, 12_500);
+        // The sender observed the final cumulative ACK.
+        let sender = sim.sender(flow).as_any().downcast_ref::<BlastSender>().unwrap();
+        assert_eq!(sender.acked, 10);
+    }
+
+    #[test]
+    fn rtt_floor_respected() {
+        // One tiny packet: delivery after one-way latency; ACK after full RTT.
+        let mut sim = build_sim();
+        let flow = add_blast(&mut sim, 0, 1);
+        sim.run();
+        let sender = sim.sender(flow).as_any().downcast_ref::<BlastSender>().unwrap();
+        assert_eq!(sender.acked, 1);
+    }
+
+    #[test]
+    fn two_flows_share_bottleneck_counters() {
+        let mut sim = build_sim();
+        add_blast(&mut sim, 0, 100);
+        add_blast(&mut sim, 1, 100);
+        let summary = sim.run();
+        assert_eq!(summary.flows.len(), 2);
+        // All 200 data packets crossed the bottleneck.
+        assert_eq!(summary.bottleneck.aqm.dequeued, 200);
+        assert_eq!(summary.bottleneck.bytes_tx_total, 200 * 1250);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut sim = build_sim();
+            add_blast(&mut sim, 0, 50);
+            add_blast(&mut sim, 1, 50);
+            let s = sim.run();
+            (s.events_processed, s.bottleneck.bytes_tx_total)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn window_counters_reset_at_mark() {
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let topo = spec.build();
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(2),
+            // Mark after everything is done: window counts must be 0.
+            warmup: SimDuration::from_millis(1900),
+            max_events: u64::MAX,
+        };
+        let mut sim = Simulator::new(topo, cfg, 1);
+        let flow = add_blast(&mut sim, 0, 10);
+        let summary = sim.run();
+        let rep = &summary.flows[flow.0 as usize];
+        assert_eq!(rep.receiver.delivered_bytes_window, 0);
+        assert_eq!(summary.bottleneck.bytes_tx_window, 0);
+    }
+}

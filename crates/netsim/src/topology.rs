@@ -1,0 +1,342 @@
+//! Topologies: nodes, static routing, and the paper's dumbbell builder.
+//!
+//! The study's network (paper Fig. 1) is a dumbbell: sender hosts at Clemson,
+//! router 1 (WASH), router 2 (NCSA), receiver hosts at TACC, with the
+//! bottleneck — rate limit, queue length, AQM — configured on the
+//! router 1 → router 2 interface, and a measured RTT of 62 ms.
+
+use crate::link::{Link, LinkId, LinkSpec};
+use crate::packet::NodeId;
+use crate::queue::Aqm;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What role a node plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Terminates flows (runs protocol endpoints).
+    Host,
+    /// Forwards packets by static routes.
+    Router,
+}
+
+/// A static-routed network: links plus per-node next-hop tables.
+pub struct Topology {
+    kinds: Vec<NodeKind>,
+    links: Vec<Link>,
+    /// `routes[node][dst]` = outgoing link towards `dst`.
+    routes: Vec<Vec<Option<LinkId>>>,
+    sender_hosts: Vec<NodeId>,
+    receiver_hosts: Vec<NodeId>,
+    bottleneck: Option<LinkId>,
+    rtt: SimDuration,
+}
+
+impl Topology {
+    /// Create an empty topology with `n` nodes of the given kinds.
+    pub fn new(kinds: Vec<NodeKind>) -> Self {
+        let n = kinds.len();
+        Topology {
+            kinds,
+            links: Vec::new(),
+            routes: vec![vec![None; n]; n],
+            sender_hosts: Vec::new(),
+            receiver_hosts: Vec::new(),
+            bottleneck: None,
+            rtt: SimDuration::ZERO,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Kind of `node`.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.0 as usize]
+    }
+
+    /// Add a link and return its id. Routing entries are added separately.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec, aqm: Box<dyn Aqm>) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(id, src, dst, spec, aqm));
+        id
+    }
+
+    /// Add a link with a large droptail queue (non-bottleneck default).
+    pub fn add_link_big_fifo(&mut self, src: NodeId, dst: NodeId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::with_big_fifo(id, src, dst, spec));
+        id
+    }
+
+    /// Install a route: packets at `node` destined to `dst` leave via `link`.
+    pub fn set_route(&mut self, node: NodeId, dst: NodeId, link: LinkId) {
+        debug_assert_eq!(self.links[link.0 as usize].src, node, "route link must originate at node");
+        self.routes[node.0 as usize][dst.0 as usize] = Some(link);
+    }
+
+    /// Next-hop link for a packet at `node` heading to `dst`.
+    #[inline]
+    pub fn route(&self, node: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.routes[node.0 as usize][dst.0 as usize]
+    }
+
+    /// Mutable access to a link.
+    #[inline]
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0 as usize]
+    }
+
+    /// Shared access to a link.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The designated bottleneck link (set by the dumbbell builder).
+    pub fn bottleneck_link(&self) -> Option<LinkId> {
+        self.bottleneck
+    }
+
+    /// Replace the queue discipline on the bottleneck link.
+    pub fn set_bottleneck_aqm(&mut self, aqm: Box<dyn Aqm>) {
+        let id = self.bottleneck.expect("topology has no designated bottleneck");
+        self.links[id.0 as usize].aqm = aqm;
+    }
+
+    /// Sender-side host nodes (traffic sources).
+    pub fn sender_hosts(&self) -> &[NodeId] {
+        &self.sender_hosts
+    }
+
+    /// Receiver-side host nodes (traffic sinks).
+    pub fn receiver_hosts(&self) -> &[NodeId] {
+        &self.receiver_hosts
+    }
+
+    /// The designed round-trip propagation + minimum path time between a
+    /// sender host and its receiver host.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt
+    }
+}
+
+impl std::fmt::Debug for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Topology")
+            .field("nodes", &self.kinds.len())
+            .field("links", &self.links.len())
+            .field("senders", &self.sender_hosts)
+            .field("receivers", &self.receiver_hosts)
+            .field("bottleneck", &self.bottleneck)
+            .finish()
+    }
+}
+
+/// Builder for the paper's dumbbell (Fig. 1).
+///
+/// `n_pairs` sender hosts connect through router 1 → router 2 to `n_pairs`
+/// receiver hosts. Propagation delays of access (sender↔router1), bottleneck
+/// (router1↔router2) and leaf (router2↔receiver) links sum to half the RTT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DumbbellSpec {
+    /// Number of sender/receiver host pairs (the paper uses 2).
+    pub n_pairs: usize,
+    /// Router1 → router2 link (rate = bottleneck BW under test).
+    pub bottleneck: LinkSpec,
+    /// Sender host ↔ router1 links (25 GbE NICs in the paper).
+    pub access: LinkSpec,
+    /// Router2 ↔ receiver host links.
+    pub leaf: LinkSpec,
+}
+
+impl DumbbellSpec {
+    /// The paper's topology: 2 host pairs, 25 Gbps access/leaf NICs, and a
+    /// bottleneck of `bw` shaped on router 1, with one-way delays
+    /// 1 + 28 + 2 ms so the end-to-end RTT is 62 ms.
+    pub fn paper(bw: crate::units::Bandwidth) -> Self {
+        Self::paper_with_rtt(bw, SimDuration::from_millis(62))
+    }
+
+    /// The paper's topology with a custom end-to-end RTT (the paper's
+    /// future-work "different RTTs" extension). Access/leaf one-way delays
+    /// keep the paper's 1 + 2 ms; the trunk absorbs the rest.
+    pub fn paper_with_rtt(bw: crate::units::Bandwidth, rtt: SimDuration) -> Self {
+        let edge = SimDuration::from_millis(3); // 1 ms access + 2 ms leaf, one way
+        assert!(
+            rtt > edge * 2,
+            "RTT must exceed the 6 ms the access/leaf links contribute"
+        );
+        let trunk_one_way = (rtt / 2).saturating_sub(edge);
+        DumbbellSpec {
+            n_pairs: 2,
+            bottleneck: LinkSpec::new(bw, trunk_one_way),
+            access: LinkSpec::new(crate::units::Bandwidth::from_gbps(25), SimDuration::from_millis(1)),
+            leaf: LinkSpec::new(crate::units::Bandwidth::from_gbps(25), SimDuration::from_millis(2)),
+        }
+    }
+
+    /// Node id of sender host `i`.
+    pub fn sender(&self, i: usize) -> NodeId {
+        assert!(i < self.n_pairs);
+        NodeId(i as u32)
+    }
+
+    /// Node id of router 1 (owns the bottleneck egress queue).
+    pub fn router1(&self) -> NodeId {
+        NodeId(self.n_pairs as u32)
+    }
+
+    /// Node id of router 2.
+    pub fn router2(&self) -> NodeId {
+        NodeId(self.n_pairs as u32 + 1)
+    }
+
+    /// Node id of receiver host `i`.
+    pub fn receiver(&self, i: usize) -> NodeId {
+        assert!(i < self.n_pairs);
+        NodeId((self.n_pairs + 2 + i) as u32)
+    }
+
+    /// Materialize the topology. The bottleneck link gets a large droptail
+    /// queue by default; install the AQM under test with
+    /// [`Topology::set_bottleneck_aqm`].
+    pub fn build(&self) -> Topology {
+        assert!(self.n_pairs >= 1, "dumbbell needs at least one host pair");
+        let n = self.n_pairs;
+        let mut kinds = Vec::with_capacity(2 * n + 2);
+        kinds.extend(std::iter::repeat_n(NodeKind::Host, n));
+        kinds.push(NodeKind::Router);
+        kinds.push(NodeKind::Router);
+        kinds.extend(std::iter::repeat_n(NodeKind::Host, n));
+        let mut topo = Topology::new(kinds);
+
+        let r1 = self.router1();
+        let r2 = self.router2();
+
+        // Forward direction: senders -> r1 -> r2 -> receivers.
+        let mut fwd_access = Vec::new();
+        for i in 0..n {
+            fwd_access.push(topo.add_link_big_fifo(self.sender(i), r1, self.access));
+        }
+        let bottleneck = topo.add_link_big_fifo(r1, r2, self.bottleneck);
+        topo.bottleneck = Some(bottleneck);
+        let mut fwd_leaf = Vec::new();
+        for i in 0..n {
+            fwd_leaf.push(topo.add_link_big_fifo(r2, self.receiver(i), self.leaf));
+        }
+
+        // Reverse direction: receivers -> r2 -> r1 -> senders. The reverse
+        // bottleneck segment runs at the raw 100 Gbps router interconnect
+        // (the paper shapes only the forward direction with `tc`).
+        let mut rev_leaf = Vec::new();
+        for i in 0..n {
+            rev_leaf.push(topo.add_link_big_fifo(self.receiver(i), r2, self.leaf));
+        }
+        let rev_spec = LinkSpec::new(crate::units::Bandwidth::from_gbps(100), self.bottleneck.prop);
+        let rev_bottleneck = topo.add_link_big_fifo(r2, r1, rev_spec);
+        let mut rev_access = Vec::new();
+        for i in 0..n {
+            rev_access.push(topo.add_link_big_fifo(r1, self.sender(i), self.access));
+        }
+
+        // Routes: everything from sender i to any receiver goes via its
+        // access link, r1 routes all receivers over the bottleneck, etc.
+        for i in 0..n {
+            let s = self.sender(i);
+            let r = self.receiver(i);
+            topo.sender_hosts.push(s);
+            topo.receiver_hosts.push(r);
+            for j in 0..n {
+                let rj = self.receiver(j);
+                topo.set_route(s, rj, fwd_access[i]);
+                topo.set_route(r1, rj, bottleneck);
+                topo.set_route(r2, rj, fwd_leaf[j]);
+                let sj = self.sender(j);
+                topo.set_route(r, sj, rev_leaf[i]);
+                topo.set_route(r2, sj, rev_bottleneck);
+                topo.set_route(r1, sj, rev_access[j]);
+            }
+        }
+
+        topo.rtt = (self.access.prop + self.bottleneck.prop + self.leaf.prop) * 2;
+        topo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Bandwidth;
+
+    fn spec() -> DumbbellSpec {
+        DumbbellSpec::paper(Bandwidth::from_mbps(100))
+    }
+
+    #[test]
+    fn paper_dumbbell_shape() {
+        let s = spec();
+        let topo = s.build();
+        assert_eq!(topo.n_nodes(), 6);
+        // 2 fwd access + bottleneck + 2 fwd leaf + 2 rev leaf + rev bottleneck + 2 rev access
+        assert_eq!(topo.links().len(), 10);
+        assert_eq!(topo.rtt(), SimDuration::from_millis(62));
+        assert_eq!(topo.sender_hosts(), &[NodeId(0), NodeId(1)]);
+        assert_eq!(topo.receiver_hosts(), &[NodeId(4), NodeId(5)]);
+        assert_eq!(topo.kind(s.router1()), NodeKind::Router);
+        assert_eq!(topo.kind(s.sender(0)), NodeKind::Host);
+    }
+
+    #[test]
+    fn forward_path_routes_through_bottleneck() {
+        let s = spec();
+        let topo = s.build();
+        let bn = topo.bottleneck_link().unwrap();
+        // sender0 -> receiver0: access, bottleneck, leaf.
+        let l1 = topo.route(s.sender(0), s.receiver(0)).unwrap();
+        assert_eq!(topo.link(l1).dst, s.router1());
+        let l2 = topo.route(s.router1(), s.receiver(0)).unwrap();
+        assert_eq!(l2, bn);
+        let l3 = topo.route(s.router2(), s.receiver(0)).unwrap();
+        assert_eq!(topo.link(l3).dst, s.receiver(0));
+    }
+
+    #[test]
+    fn reverse_path_avoids_bottleneck() {
+        let s = spec();
+        let topo = s.build();
+        let bn = topo.bottleneck_link().unwrap();
+        let l1 = topo.route(s.receiver(1), s.sender(1)).unwrap();
+        assert_eq!(topo.link(l1).dst, s.router2());
+        let l2 = topo.route(s.router2(), s.sender(1)).unwrap();
+        assert_ne!(l2, bn);
+        assert_eq!(topo.link(l2).dst, s.router1());
+        // Reverse trunk is the unshaped 100G interconnect.
+        assert_eq!(topo.link(l2).rate, Bandwidth::from_gbps(100));
+    }
+
+    #[test]
+    fn bottleneck_rate_matches_spec() {
+        let s = DumbbellSpec::paper(Bandwidth::from_gbps(10));
+        let topo = s.build();
+        let bn = topo.bottleneck_link().unwrap();
+        assert_eq!(topo.link(bn).rate, Bandwidth::from_gbps(10));
+        assert_eq!(topo.link(bn).prop, SimDuration::from_millis(28));
+    }
+
+    #[test]
+    fn cross_pair_routes_exist() {
+        // sender0 can reach receiver1 (needed for arbitrary flow placement).
+        let s = spec();
+        let topo = s.build();
+        assert!(topo.route(s.sender(0), s.receiver(1)).is_some());
+        assert!(topo.route(s.router1(), s.receiver(1)).is_some());
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the DES engine primitives.
+
+use elephants_netsim::prelude::*;
+use elephants_netsim::{bdp_bytes, Event, EventQueue};
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue is a total order: pops come out sorted by time, and
+    /// equal times preserve insertion order.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(
+                SimTime::from_nanos(t),
+                Event::Timer { flow: FlowId(i as u32), dir: Dir::Sender, kind: TimerKind::Rto },
+            );
+        }
+        let mut last: Option<(u64, u32)> = None;
+        let mut popped = 0;
+        while let Some((at, ev)) = q.pop() {
+            popped += 1;
+            let Event::Timer { flow, .. } = ev else { unreachable!() };
+            if let Some((lt, lf)) = last {
+                prop_assert!(at.as_nanos() > lt || (at.as_nanos() == lt && flow.0 > lf),
+                    "order violated: ({lt},{lf}) then ({},{})", at.as_nanos(), flow.0);
+            }
+            last = Some((at.as_nanos(), flow.0));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Serialization time is consistent with bytes_in (inverse functions).
+    #[test]
+    fn serialization_inverts(bps in 1_000_000u64..100_000_000_000, bytes in 1u64..10_000_000) {
+        let bw = Bandwidth::from_bps(bps);
+        let t = bw.serialization_time(bytes);
+        let back = bw.bytes_in(t);
+        // Rounding may lose at most one byte per nanosecond boundary.
+        prop_assert!((back as i128 - bytes as i128).abs() <= 1 + bps as i128 / 8_000_000_000,
+            "bytes {bytes} -> {t:?} -> {back}");
+    }
+
+    /// BDP is monotone in both bandwidth and RTT.
+    #[test]
+    fn bdp_monotone(bps in 1_000_000u64..50_000_000_000, ms in 1u64..500) {
+        let b1 = bdp_bytes(Bandwidth::from_bps(bps), SimDuration::from_millis(ms));
+        let b2 = bdp_bytes(Bandwidth::from_bps(bps * 2), SimDuration::from_millis(ms));
+        let b3 = bdp_bytes(Bandwidth::from_bps(bps), SimDuration::from_millis(ms * 2));
+        prop_assert!(b2 >= b1);
+        prop_assert!(b3 >= b1);
+        // And linear: doubling either doubles the product (within rounding).
+        prop_assert!((b2 as i128 - 2 * b1 as i128).abs() <= 1);
+        prop_assert!((b3 as i128 - 2 * b1 as i128).abs() <= 1);
+    }
+
+    /// Time arithmetic: (t + d) - t == d for all representable values.
+    #[test]
+    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let t0 = SimTime::from_nanos(t);
+        let dur = SimDuration::from_nanos(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!((t0 + dur).since(t0), dur);
+    }
+
+    /// Droptail backlog never exceeds its limit and conserves bytes.
+    #[test]
+    fn droptail_limit_invariant(
+        sizes in proptest::collection::vec(64u32..9001, 1..300),
+        limit in 10_000u64..200_000,
+    ) {
+        let mut q = DropTail::new(limit);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut accepted_bytes = 0u64;
+        for (i, &size) in sizes.iter().enumerate() {
+            let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), i as u64, size, SimTime::ZERO);
+            if q.enqueue(pkt, SimTime::ZERO, &mut rng) == Verdict::Enqueued {
+                accepted_bytes += size as u64;
+            }
+            prop_assert!(q.backlog_bytes() <= limit);
+        }
+        // Drain and verify byte conservation.
+        let mut drained = 0u64;
+        while let Some(p) = q.dequeue(SimTime::ZERO, &mut rng).pkt {
+            drained += p.size as u64;
+        }
+        prop_assert_eq!(drained, accepted_bytes);
+    }
+}
+
+/// Deterministic mini-simulations with randomized blast sizes: the engine
+/// must deliver every packet exactly once regardless of load pattern.
+mod delivery {
+    use super::*;
+    use elephants_netsim::{Ctx, EndpointReport, FlowEndpoint, PacketKind};
+    use std::any::Any;
+
+    struct Blast {
+        peer: NodeId,
+        n: u64,
+        acked: u64,
+    }
+
+    impl FlowEndpoint for Blast {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for seq in 0..self.n {
+                ctx.send(Packet::data(ctx.flow, ctx.local, self.peer, seq, 1000, ctx.now));
+            }
+        }
+        fn on_packet(&mut self, pkt: &Packet, _ctx: &mut Ctx) {
+            if let PacketKind::Ack(info) = pkt.kind {
+                self.acked = self.acked.max(info.cum);
+            }
+        }
+        fn on_timer(&mut self, _k: TimerKind, _c: &mut Ctx) {}
+        fn report(&self) -> EndpointReport {
+            EndpointReport::default()
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    struct Sink {
+        peer: NodeId,
+        next: u64,
+        report: EndpointReport,
+    }
+
+    impl FlowEndpoint for Sink {
+        fn on_start(&mut self, _ctx: &mut Ctx) {}
+        fn on_packet(&mut self, pkt: &Packet, ctx: &mut Ctx) {
+            if pkt.is_data() {
+                if pkt.seq == self.next {
+                    self.next += 1;
+                    self.report.delivered_segments += 1;
+                }
+                let ack = Packet::ack(
+                    ctx.flow,
+                    ctx.local,
+                    self.peer,
+                    pkt.seq,
+                    elephants_netsim::AckInfo::cumulative(self.next),
+                    ctx.now,
+                );
+                ctx.send(ack);
+            }
+        }
+        fn on_timer(&mut self, _k: TimerKind, _c: &mut Ctx) {}
+        fn report(&self) -> EndpointReport {
+            self.report
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn every_packet_delivered_exactly_once(n1 in 1u64..300, n2 in 1u64..300, seed in 0u64..100) {
+            let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+            let topo = spec.build();
+            let mut sim = Simulator::new(
+                topo,
+                SimConfig {
+                    duration: SimDuration::from_secs(5),
+                    warmup: SimDuration::ZERO,
+                    max_events: 10_000_000,
+                },
+                seed,
+            );
+            for (i, n) in [(0usize, n1), (1usize, n2)] {
+                let s = spec.sender(i);
+                let r = spec.receiver(i);
+                sim.add_flow(
+                    s,
+                    r,
+                    Box::new(Blast { peer: r, n, acked: 0 }),
+                    Box::new(Sink { peer: s, next: 0, report: EndpointReport::default() }),
+                    SimTime::ZERO,
+                );
+            }
+            let summary = sim.run();
+            prop_assert_eq!(summary.flows[0].receiver.delivered_segments, n1);
+            prop_assert_eq!(summary.flows[1].receiver.delivered_segments, n2);
+            // Blasts fit comfortably in the big access FIFOs: zero drops.
+            prop_assert_eq!(summary.bottleneck.aqm.dropped_total(), 0);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! RTT estimation and RTO computation (RFC 6298, Linux-flavoured).
+
+use elephants_netsim::{SimDuration, SimTime};
+
+/// Linux's minimum RTO (200 ms), far below RFC 6298's 1 s.
+pub const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+
+/// Maximum RTO after backoff.
+pub const MAX_RTO: SimDuration = SimDuration::from_secs(120);
+
+/// SRTT/RTTVAR estimator with exponential RTO backoff.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: Option<SimDuration>,
+    latest: Option<SimDuration>,
+    /// Current backoff exponent (0 = no backoff).
+    backoff: u32,
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        RttEstimator { srtt: None, rttvar: SimDuration::ZERO, min_rtt: None, latest: None, backoff: 0 }
+    }
+
+    /// Incorporate an RTT sample (never from retransmitted segments — Karn).
+    pub fn on_sample(&mut self, rtt: SimDuration) {
+        self.latest = Some(rtt);
+        self.min_rtt = Some(self.min_rtt.map_or(rtt, |m| m.min(rtt)));
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R'|
+                let err = if rtt > srtt { rtt - srtt } else { srtt - rtt };
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // SRTT = 7/8 SRTT + 1/8 R'
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        // A valid sample ends any backoff episode.
+        self.backoff = 0;
+    }
+
+    /// Smoothed RTT (None before the first sample).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Minimum RTT observed over the connection.
+    pub fn min_rtt(&self) -> Option<SimDuration> {
+        self.min_rtt
+    }
+
+    /// Most recent raw sample.
+    pub fn latest(&self) -> Option<SimDuration> {
+        self.latest
+    }
+
+    /// Current retransmission timeout, including backoff.
+    ///
+    /// Follows Linux semantics rather than the literal RFC 6298 formula:
+    /// the variance term is floored at `MIN_RTO` (Linux clamps `rttvar` to
+    /// `tcp_rto_min`), so `RTO ≈ SRTT + max(4·RTTVAR, 200 ms)`. The floor
+    /// acting as a *margin above SRTT* (not an absolute minimum) is what
+    /// keeps queue-delay growth from constantly firing spurious timeouts
+    /// under bufferbloat.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            Some(srtt) => srtt + (self.rttvar * 4).max(MIN_RTO),
+            None => SimDuration::from_secs(1), // RFC 6298 initial RTO
+        };
+        let backed = base * (1u64 << self.backoff.min(16));
+        backed.max(MIN_RTO).min(MAX_RTO)
+    }
+
+    /// Double the RTO (called when the retransmission timer fires).
+    pub fn backoff(&mut self) {
+        self.backoff = (self.backoff + 1).min(16);
+    }
+
+    /// Deadline for data outstanding at `now`.
+    pub fn rto_deadline(&self, now: SimTime) -> SimTime {
+        now + self.rto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new();
+        assert_eq!(e.srtt(), None);
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.on_sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        // RTO = 100 + 4*50 = 300 ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RttEstimator::new();
+        for _ in 0..100 {
+            e.on_sample(ms(62));
+        }
+        assert_eq!(e.srtt(), Some(ms(62)));
+        // Variance decays toward zero; the floor acts as a margin above
+        // SRTT (Linux semantics), not an absolute clamp.
+        assert_eq!(e.rto(), ms(62) + MIN_RTO);
+    }
+
+    #[test]
+    fn variance_reacts_to_jitter() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(50));
+        e.on_sample(ms(150));
+        assert!(e.rto() > ms(200));
+        assert!(e.min_rtt() == Some(ms(50)));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(100)); // rto = 100 + max(4*50, 200) = 300 ms
+        e.backoff();
+        assert_eq!(e.rto(), ms(600));
+        e.backoff();
+        assert_eq!(e.rto(), ms(1200));
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), MAX_RTO);
+        // A new sample resets the backoff.
+        e.on_sample(ms(100));
+        assert!(e.rto() < ms(400));
+    }
+
+    #[test]
+    fn min_rtt_is_monotone_nonincreasing() {
+        let mut e = RttEstimator::new();
+        e.on_sample(ms(80));
+        e.on_sample(ms(62));
+        e.on_sample(ms(100));
+        assert_eq!(e.min_rtt(), Some(ms(62)));
+    }
+}

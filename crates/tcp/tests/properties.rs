@@ -1,0 +1,163 @@
+//! Property-based tests for the TCP machinery.
+
+use elephants_netsim::{SimDuration, SimTime};
+use elephants_tcp::{PktMeta, PktState, RttEstimator, Scoreboard};
+use proptest::prelude::*;
+
+fn meta(t: u64) -> PktMeta {
+    PktMeta {
+        state: PktState::Outstanding,
+        tx_time: SimTime::from_nanos(t),
+        retx: false,
+        delivered_at_send: 0,
+        delivered_time_at_send: SimTime::ZERO,
+        first_tx_at_send: SimTime::ZERO,
+        app_limited_at_send: false,
+    }
+}
+
+/// Random scoreboard operations that mirror what the sender does.
+#[derive(Debug, Clone)]
+enum Op {
+    Send(u8),
+    CumAck(u8),
+    Sack { lo: u8, len: u8 },
+    DetectLosses,
+    RetxOne,
+    MarkAllLost,
+    Revert,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (1u8..8).prop_map(Op::Send),
+            2 => (1u8..8).prop_map(Op::CumAck),
+            2 => (0u8..40, 1u8..6).prop_map(|(lo, len)| Op::Sack { lo, len }),
+            1 => Just(Op::DetectLosses),
+            1 => Just(Op::RetxOne),
+            1 => Just(Op::MarkAllLost),
+            1 => Just(Op::Revert),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Conservation: every tracked segment is in exactly one state, SACKs
+    /// are idempotent, cumulative ACKs only move forward.
+    #[test]
+    fn scoreboard_conservation(ops in arb_ops()) {
+        let mut sb = Scoreboard::new();
+        let mut t = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Send(n) => {
+                    for _ in 0..n {
+                        t += 1;
+                        let seq = sb.snd_nxt();
+                        sb.push_sent(seq, meta(t));
+                    }
+                }
+                Op::CumAck(n) => {
+                    let target = (sb.snd_una() + n as u64).min(sb.snd_nxt());
+                    let mut prev = None;
+                    sb.advance_una(target, |seq, _| {
+                        if let Some(p) = prev {
+                            assert_eq!(seq, p + 1, "cum ack must visit in order");
+                        }
+                        prev = Some(seq);
+                    });
+                    prop_assert_eq!(sb.snd_una(), target);
+                }
+                Op::Sack { lo, len } => {
+                    let s = sb.snd_una() + lo as u64;
+                    let e = s + len as u64;
+                    let before = sb.sacked_count();
+                    let mut newly = 0;
+                    sb.apply_sack(s, e, |_, _| newly += 1);
+                    prop_assert_eq!(sb.sacked_count(), before + newly);
+                    // Idempotent.
+                    let mut again = 0;
+                    sb.apply_sack(s, e, |_, _| again += 1);
+                    prop_assert_eq!(again, 0);
+                }
+                Op::DetectLosses => {
+                    sb.detect_losses(3, |_| {});
+                }
+                Op::RetxOne => {
+                    if let Some(seq) = sb.next_lost() {
+                        t += 1;
+                        sb.mark_retransmitted(seq, meta(t));
+                        prop_assert!(sb.get(seq).unwrap().retx);
+                    }
+                }
+                Op::MarkAllLost => sb.mark_all_lost(),
+                Op::Revert => {
+                    sb.revert_lost_to_outstanding();
+                    prop_assert_eq!(sb.lost_pending(), 0);
+                }
+            }
+            prop_assert!(sb.check_conservation(), "state counters drifted");
+            prop_assert!(sb.snd_una() <= sb.snd_nxt());
+            prop_assert!(sb.inflight_segments() as usize + sb.lost_pending() + sb.sacked_count() <= sb.len());
+        }
+    }
+
+    /// The RTO estimator never returns less than the minimum or more than
+    /// the maximum, and is monotone under backoff.
+    #[test]
+    fn rto_bounds(samples in proptest::collection::vec(1u64..5_000, 1..100), backoffs in 0u32..20) {
+        let mut e = RttEstimator::new();
+        for &ms in &samples {
+            e.on_sample(SimDuration::from_millis(ms));
+            prop_assert!(e.rto() >= elephants_tcp::MIN_RTO);
+            prop_assert!(e.rto() <= elephants_tcp::MAX_RTO);
+            let srtt = e.srtt().unwrap();
+            prop_assert!(e.rto() >= srtt, "RTO must exceed SRTT");
+        }
+        let mut prev = e.rto();
+        for _ in 0..backoffs {
+            e.backoff();
+            prop_assert!(e.rto() >= prev);
+            prev = e.rto();
+        }
+    }
+
+    /// SRTT stays within the convex hull of its samples.
+    #[test]
+    fn srtt_bounded_by_samples(samples in proptest::collection::vec(1u64..10_000, 1..200)) {
+        let mut e = RttEstimator::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for &ms in &samples {
+            lo = lo.min(ms);
+            hi = hi.max(ms);
+            e.on_sample(SimDuration::from_millis(ms));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        prop_assert!(srtt >= lo as f64 - 1.0 && srtt <= hi as f64 + 1.0, "srtt {srtt} outside [{lo},{hi}]");
+        prop_assert_eq!(e.min_rtt().unwrap(), SimDuration::from_millis(lo));
+    }
+
+    /// Rate samples never exceed the true send/ack rate envelope.
+    #[test]
+    fn rate_sample_honest(
+        delivered_delta in 1u64..10_000_000,
+        snd_us in 1u64..1_000_000,
+        ack_us in 1u64..1_000_000,
+    ) {
+        let t0 = SimTime::ZERO;
+        let rate = elephants_tcp::rate::delivery_rate_bps(
+            delivered_delta,
+            0,
+            t0 + SimDuration::from_micros(snd_us),
+            t0,
+            t0 + SimDuration::from_micros(snd_us + ack_us),
+            t0 + SimDuration::from_micros(snd_us),
+        ).unwrap();
+        // Max of both intervals: rate is at most delta/max(snd,ack).
+        let max_int = snd_us.max(ack_us) as f64 / 1e6;
+        let ceiling = delivered_delta as f64 * 8.0 / max_int;
+        prop_assert!(rate as f64 <= ceiling * 1.001, "rate {rate} over ceiling {ceiling}");
+    }
+}

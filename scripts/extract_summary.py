@@ -1,0 +1,92 @@
+"""Extract EXPERIMENTS.md summary tables from results/cache."""
+import json, glob, re
+
+def load():
+    rows = {}
+    for f in glob.glob('results/cache/*.json'):
+        name = f.split('/')[-1][:-5]
+        m = re.match(r'(\w+)-(\w+)-(\w+)-q([\d.]+)bdp-(\d+)mbps-d\d+ms-w\d+ms-fs[\d.]+-mss\d+-ecn\d-rtt62-s1', name)
+        if not m:
+            continue
+        key = (m.group(1), m.group(2), m.group(3), float(m.group(4)), int(m.group(5)))
+        rows[key] = json.load(open(f))
+    return rows
+
+BWS = [100, 500, 1000, 10000, 25000]
+QS = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+BWL = {100: '100M', 500: '500M', 1000: '1G', 10000: '10G', 25000: '25G'}
+
+def bw_fmt(bw):
+    return BWL[bw]
+
+def equilibrium(rows, cca, bw):
+    """First buffer size where cubic overtakes cca (None if never)."""
+    for q in QS:
+        r = rows.get((cca, 'cubic', 'fifo', q, bw))
+        if r and r['sender_mbps'][1] > r['sender_mbps'][0]:
+            return q
+    return None
+
+if __name__ == '__main__':
+    rows = load()
+    print(f"# parsed {len(rows)} runs\n")
+
+    print("## Fig2 equilibrium points (first buffer where CUBIC overtakes, FIFO)")
+    for cca in ('bbr1', 'bbr2', 'htcp', 'reno'):
+        line = f"  {cca:>5}:"
+        for bw in BWS:
+            e = equilibrium(rows, cca, bw)
+            line += f" {bw_fmt(bw)}:{e if e else '>16'}"
+        print(line)
+
+    print("\n## Jain 2 BDP inter (fig3a/5a/6a layout: rows bw, cols pair)")
+    for aqm in ('fifo', 'red', 'fq_codel'):
+        print(f"  -- {aqm} --")
+        for bw in BWS:
+            line = f"    {bw_fmt(bw):>5}:"
+            for cca in ('bbr1', 'bbr2', 'htcp', 'reno'):
+                r = rows.get((cca, 'cubic', aqm, 2.0, bw))
+                line += f" {cca}={r['jain']:.3f}" if r else f" {cca}=n/a"
+            print(line)
+
+    print("\n## Utilization (fig7), intra-CCA, 2 BDP")
+    for aqm in ('fifo', 'red', 'fq_codel'):
+        for cca in ('bbr1', 'bbr2', 'htcp', 'reno', 'cubic'):
+            line = f"  {aqm:>8} {cca:>5}:"
+            for bw in BWS:
+                r = rows.get((cca, cca, aqm, 2.0, bw))
+                line += f" {r['utilization']:.3f}" if r else "  n/a "
+            print(line)
+
+    print("\n## Retransmissions (fig8), intra-CCA, 2 BDP")
+    for aqm in ('fifo', 'red', 'fq_codel'):
+        for cca in ('bbr1', 'bbr2', 'htcp', 'reno', 'cubic'):
+            line = f"  {aqm:>8} {cca:>5}:"
+            for bw in BWS:
+                r = rows.get((cca, cca, aqm, 2.0, bw))
+                line += f" {r['retransmits']:>7}" if r else "    n/a"
+            print(line)
+
+    print("\n## Table 3 (avg over 6 queues x 5 bws)")
+    pairs = [('bbr1','bbr1'),('bbr1','cubic'),('bbr2','bbr2'),('bbr2','cubic'),
+             ('htcp','htcp'),('htcp','cubic'),('reno','reno'),('reno','cubic'),
+             ('cubic','cubic')]
+    for aqm in ('fifo', 'red', 'fq_codel'):
+        ref = {}
+        for q in QS:
+            for bw in BWS:
+                r = rows.get(('cubic','cubic',aqm,q,bw))
+                if r:
+                    ref[(q,bw)] = max(r['retransmits'], 1)
+        for (c1, c2) in pairs:
+            phis, js, rrs = [], [], []
+            for q in QS:
+                for bw in BWS:
+                    r = rows.get((c1,c2,aqm,q,bw))
+                    if not r or (q,bw) not in ref:
+                        continue
+                    phis.append(r['utilization']); js.append(r['jain'])
+                    rrs.append(r['retransmits']/ref[(q,bw)])
+            if phis:
+                n = len(phis)
+                print(f"  {aqm:>8} {c1:>5} vs {c2:>5} (n={n:2}): phi={sum(phis)/n:.3f} RR={sum(rrs)/n:8.3f} J={sum(js)/n:.3f}")

@@ -1,0 +1,34 @@
+//! Cross-crate integration tests for the `elephants` workspace live in
+//! `tests/tests/`. This library only hosts shared helpers.
+
+use elephants::{FairnessStudy, StudyOutcome};
+
+/// Run a study for an explicit simulated duration.
+pub fn study_secs(
+    cca1: &str,
+    cca2: &str,
+    aqm: &str,
+    queue_bdp: f64,
+    mbps: u64,
+    secs: u64,
+) -> StudyOutcome {
+    FairnessStudy::builder()
+        .cca_pair(cca1, cca2)
+        .aqm(aqm)
+        .bandwidth_mbps(mbps)
+        .queue_bdp(queue_bdp)
+        .duration_secs(secs)
+        .build()
+        .expect("valid study")
+        .run()
+}
+
+/// Run a short study with sane defaults for integration testing.
+///
+/// Uses 100–500 Mbps bandwidths and small durations so the whole suite
+/// stays fast in debug builds while still exercising every crate. Slow
+/// equilibria (deep buffers, who-overtakes-whom) need [`study_secs`] with
+/// an explicit longer duration.
+pub fn quick_study(cca1: &str, cca2: &str, aqm: &str, queue_bdp: f64, mbps: u64) -> StudyOutcome {
+    study_secs(cca1, cca2, aqm, queue_bdp, mbps, if mbps > 200 { 8 } else { 12 })
+}

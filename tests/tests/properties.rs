@@ -1,0 +1,193 @@
+//! Property-based tests over the public APIs (proptest).
+
+use elephants::aqm::{Codel, CodelConfig, FqCodel, FqCodelConfig, Red, RedConfig};
+use elephants::metrics::{jain_index, relative_retransmissions, Summary};
+use elephants::netsim::prelude::*;
+use elephants::netsim::{Aqm, FlowId, NodeId, Packet};
+use proptest::prelude::*;
+
+fn arb_throughputs() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..1e10, 1..20)
+}
+
+proptest! {
+    #[test]
+    fn jain_index_is_in_unit_interval(tputs in arb_throughputs()) {
+        let j = jain_index(&tputs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "J = {j}");
+    }
+
+    #[test]
+    fn jain_index_is_scale_invariant(tputs in arb_throughputs(), k in 0.001f64..1000.0) {
+        let a = jain_index(&tputs);
+        let scaled: Vec<f64> = tputs.iter().map(|&x| x * k).collect();
+        let b = jain_index(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn jain_equals_one_iff_all_equal(x in 1.0f64..1e9, n in 2usize..10) {
+        let v = vec![x; n];
+        prop_assert!((jain_index(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rr_is_multiplicative_identity_on_self(r in 1u64..1_000_000) {
+        prop_assert_eq!(relative_retransmissions(r, r), 1.0);
+    }
+
+    #[test]
+    fn summary_bounds_hold(xs in proptest::collection::vec(-1e12f64..1e12, 1..50)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.std >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+}
+
+fn mk_pkt(flow: u32, seq: u64, size: u32) -> Packet {
+    Packet::data(FlowId(flow), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)
+}
+
+/// A random enqueue/dequeue script applied to a queue discipline.
+#[derive(Debug, Clone)]
+enum Op {
+    Enq { flow: u32, size: u32 },
+    Deq,
+    Advance { us: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..8, 64u32..9001).prop_map(|(flow, size)| Op::Enq { flow, size }),
+            Just(Op::Deq),
+            (1u64..5_000).prop_map(|us| Op::Advance { us }),
+        ],
+        1..200,
+    )
+}
+
+fn exercise(aqm: &mut dyn Aqm, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let mut now = SimTime::ZERO;
+    let mut seq = 0u64;
+    for op in ops {
+        match *op {
+            Op::Enq { flow, size } => {
+                seq += 1;
+                let _ = aqm.enqueue(mk_pkt(flow, seq, size), now, &mut rng);
+            }
+            Op::Deq => {
+                let _ = aqm.dequeue(now, &mut rng);
+            }
+            Op::Advance { us } => now += SimDuration::from_micros(us),
+        }
+        // Conservation: every accepted packet is delivered, dropped at
+        // dequeue, or still queued. FQ-CoDel may additionally evict
+        // *accepted* packets on overflow (fattest-flow drop), so its
+        // `enqueued` counter sits between the strict sum and the sum plus
+        // evictions.
+        let s = aqm.stats();
+        let rhs = s.dequeued + s.dropped_dequeue + aqm.backlog_pkts() as u64;
+        if aqm.name() == "fq_codel" {
+            prop_assert!(
+                s.enqueued >= rhs && s.enqueued <= rhs + s.dropped_enqueue,
+                "conservation violated for fq_codel: enq={} rhs={} evict={}",
+                s.enqueued,
+                rhs,
+                s.dropped_enqueue
+            );
+        } else {
+            prop_assert_eq!(s.enqueued, rhs, "conservation violated for {}", aqm.name());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn droptail_conserves_packets(ops in arb_ops()) {
+        let mut q = DropTail::new(100_000);
+        exercise(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn red_conserves_packets(ops in arb_ops()) {
+        let mut q = Red::new(RedConfig::tc_defaults(200_000, 100_000_000, 1500));
+        exercise(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn codel_conserves_packets(ops in arb_ops()) {
+        let mut q = Codel::new(CodelConfig { limit_bytes: 100_000, mtu: 1500, ..Default::default() });
+        exercise(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn fq_codel_conserves_packets(ops in arb_ops()) {
+        let mut q = FqCodel::new(FqCodelConfig::tc_defaults(100_000, 1500));
+        exercise(&mut q, &ops)?;
+    }
+
+    #[test]
+    fn fq_codel_backlog_bytes_never_negative_nor_leaks(ops in arb_ops()) {
+        let mut q = FqCodel::new(FqCodelConfig::tc_defaults(50_000, 1500));
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut now = SimTime::ZERO;
+        let mut seq = 0;
+        for op in &ops {
+            match *op {
+                Op::Enq { flow, size } => {
+                    seq += 1;
+                    q.enqueue(mk_pkt(flow, seq, size), now, &mut rng);
+                }
+                Op::Deq => { q.dequeue(now, &mut rng); }
+                Op::Advance { us } => now += SimDuration::from_micros(us),
+            }
+        }
+        // Drain completely; accounting must return exactly to zero.
+        now += SimDuration::from_secs(10);
+        let mut guard = 0;
+        while q.backlog_pkts() > 0 {
+            let r = q.dequeue(now, &mut rng);
+            prop_assert!(r.pkt.is_some() || r.dropped > 0, "backlog stuck at {}", q.backlog_pkts());
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        prop_assert_eq!(q.backlog_bytes(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End-to-end determinism over random scenario knobs: two identical
+    /// short runs must agree exactly.
+    #[test]
+    fn simulation_is_deterministic(
+        seed in 0u64..1000,
+        q in 1usize..4,
+        cca_idx in 0usize..5,
+    ) {
+        use elephants::cca::CcaKind;
+        use elephants::experiments::{run_scenario, RunOptions, ScenarioConfig};
+        use elephants::AqmKind;
+        let cca = CcaKind::ALL[cca_idx];
+        let cfg = ScenarioConfig::new(
+            cca,
+            CcaKind::Cubic,
+            AqmKind::PAPER_SET[q % 3],
+            [0.5, 2.0, 16.0][q - 1],
+            100_000_000,
+            &RunOptions::quick(),
+        );
+        let a = run_scenario(&cfg, seed);
+        let b = run_scenario(&cfg, seed);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.sender_mbps, b.sender_mbps);
+        prop_assert_eq!(a.retransmits, b.retransmits);
+    }
+}
