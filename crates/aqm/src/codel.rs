@@ -9,12 +9,12 @@
 //! a standalone discipline, and `FqCodel` embeds one state per flow queue.
 
 use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimDuration, SimTime, Verdict};
-use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
+use elephants_netsim::SmallRng;
 use std::collections::VecDeque;
 
 /// CoDel parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodelConfig {
     /// Acceptable standing queue delay (RFC default 5 ms).
     pub target: SimDuration,
@@ -28,6 +28,8 @@ pub struct CodelConfig {
     /// Mark ECN-capable packets instead of dropping them.
     pub ecn: bool,
 }
+
+impl_json_struct!(CodelConfig { target, interval, limit_bytes, mtu, ecn });
 
 impl Default for CodelConfig {
     fn default() -> Self {
@@ -268,7 +270,7 @@ impl Aqm for Codel {
 mod tests {
     use super::*;
     use elephants_netsim::{FlowId, NodeId};
-    use rand::SeedableRng;
+    use elephants_netsim::SeedableRng;
 
     fn pkt(seq: u64, size: u32, t: SimTime) -> Packet {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, t)

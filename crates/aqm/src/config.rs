@@ -5,11 +5,11 @@ use crate::fq_codel::{FqCodel, FqCodelConfig};
 use crate::pie::{Pie, PieConfig};
 use crate::red::{Red, RedConfig};
 use elephants_netsim::{Aqm, DropTail};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_unit_enum;
 
 /// The queue disciplines evaluated by the paper (plus plain CoDel for
 /// completeness).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AqmKind {
     /// Droptail FIFO.
     Fifo,
@@ -22,6 +22,8 @@ pub enum AqmKind {
     /// PIE, RFC 8033 (extension: the paper's "future AQM" direction).
     Pie,
 }
+
+impl_json_unit_enum!(AqmKind { Fifo, Red, FqCodel, Codel, Pie });
 
 impl AqmKind {
     /// The grid the paper sweeps (Table 1).

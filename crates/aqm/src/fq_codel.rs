@@ -9,12 +9,12 @@
 
 use crate::codel::{CodelConfig, CodelState};
 use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
-use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
+use elephants_netsim::SmallRng;
 use std::collections::VecDeque;
 
 /// FQ-CoDel parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FqCodelConfig {
     /// Number of hash buckets (tc default 1024).
     pub flows: usize,
@@ -29,6 +29,8 @@ pub struct FqCodelConfig {
     /// Salt mixed into the flow hash (set per run for collision realism).
     pub hash_salt: u64,
 }
+
+impl_json_struct!(FqCodelConfig { flows, quantum, limit_pkts, memory_limit, codel, hash_salt });
 
 impl FqCodelConfig {
     /// `tc fq_codel` defaults for the given MTU, with the byte capacity of
@@ -276,7 +278,7 @@ impl Aqm for FqCodel {
 mod tests {
     use super::*;
     use elephants_netsim::{FlowId, NodeId, SimDuration};
-    use rand::SeedableRng;
+    use elephants_netsim::SeedableRng;
 
     fn pkt(flow: u32, seq: u64, size: u32, t: SimTime) -> Packet {
         Packet::data(FlowId(flow), NodeId(0), NodeId(1), seq, size, t)

@@ -18,13 +18,12 @@
 //! allowance, and the p < 0.2 ⇒ "don't drop below-target" safeguards.
 
 use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimDuration, SimTime, Verdict};
-use rand::rngs::SmallRng;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
+use elephants_netsim::{RngExt, SmallRng};
 use std::collections::VecDeque;
 
 /// PIE parameters (RFC 8033 defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PieConfig {
     /// Target queueing delay (RFC default 15 ms).
     pub target: SimDuration,
@@ -43,6 +42,17 @@ pub struct PieConfig {
     /// Max drop probability at which ECN marking is still used (RFC: 10 %).
     pub mark_ecn_thresh: f64,
 }
+
+impl_json_struct!(PieConfig {
+    target,
+    t_update,
+    alpha,
+    beta,
+    max_burst,
+    limit_bytes,
+    ecn,
+    mark_ecn_thresh,
+});
 
 impl Default for PieConfig {
     fn default() -> Self {
@@ -223,7 +233,7 @@ impl Aqm for Pie {
 mod tests {
     use super::*;
     use elephants_netsim::{FlowId, NodeId};
-    use rand::SeedableRng;
+    use elephants_netsim::SeedableRng;
 
     fn pkt(seq: u64, size: u32, t: SimTime) -> Packet {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, t)

@@ -10,13 +10,12 @@
 //! the original paper (§Appendix) and `tc red`'s `red_calc_qavg_from_idle_time`.
 
 use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
-use rand::rngs::SmallRng;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
+use elephants_netsim::{RngExt, SmallRng};
 use std::collections::VecDeque;
 
 /// RED parameters (byte-based, like `tc red`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RedConfig {
     /// Hard queue limit in bytes.
     pub limit_bytes: u64,
@@ -37,6 +36,18 @@ pub struct RedConfig {
     /// Mark ECN-capable packets instead of dropping (off in the paper).
     pub ecn: bool,
 }
+
+impl_json_struct!(RedConfig {
+    limit_bytes,
+    min_th,
+    max_th,
+    max_p,
+    w_q,
+    avpkt,
+    bandwidth_bps,
+    gentle,
+    ecn,
+});
 
 impl RedConfig {
     /// Operator-style defaults, deliberately *not* scaled with the
@@ -267,7 +278,7 @@ impl Aqm for Red {
 mod tests {
     use super::*;
     use elephants_netsim::{FlowId, NodeId};
-    use rand::SeedableRng;
+    use elephants_netsim::SeedableRng;
 
     fn pkt(seq: u64, size: u32) -> Packet {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)

@@ -10,7 +10,8 @@
 //! but each iteration also returns the metric the ablation is about, so a
 //! regression in *behaviour* shows up as an implausible runtime change.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elephants_bench::harness::Criterion;
+use elephants_bench::{criterion_group, criterion_main};
 use elephants_cca::{BbrV2, BbrV2Config, Cubic, CubicConfig};
 use elephants_netsim::prelude::*;
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};

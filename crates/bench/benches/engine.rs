@@ -1,14 +1,14 @@
 //! Engine micro-benchmarks: event heap, AQM hot paths, end-to-end
 //! simulation throughput (events/second).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use elephants_aqm::{build_aqm, AqmKind};
 use elephants_bench::bench_scenario;
+use elephants_bench::harness::{BenchmarkId, Criterion, Throughput};
+use elephants_bench::{criterion_group, criterion_main};
 use elephants_cca::CcaKind;
 use elephants_experiments::run_scenario;
 use elephants_netsim::{Event, EventQueue, FlowId, NodeId, Packet, SimTime, TimerKind};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use elephants_netsim::{SeedableRng, SmallRng};
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue");

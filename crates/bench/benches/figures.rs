@@ -4,7 +4,8 @@
 //! binaries (`cargo run --release -p elephants-experiments --bin fig2` …);
 //! these benches keep the assembly paths exercised and their cost tracked.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use elephants_bench::harness::Criterion;
+use elephants_bench::{criterion_group, criterion_main};
 use elephants_experiments::{
     fig2, fig3, fig4, fig5, fig6, fig7, fig8, table3, RunCache, PAPER_QUEUES_BDP,
 };

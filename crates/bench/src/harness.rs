@@ -1,0 +1,425 @@
+//! A small `Instant`-based benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace is hermetic (no external crates), so the benches cannot
+//! use Criterion. This module keeps the same surface the benches were
+//! written against — `benchmark_group` / `sample_size` / `throughput` /
+//! `bench_function` / `bench_with_input` / `Bencher::iter` plus the
+//! [`criterion_group!`](crate::criterion_group) and
+//! [`criterion_main!`](crate::criterion_main) macros — and measures with
+//! `std::time::Instant`.
+//!
+//! Behaviour:
+//!
+//! * Each benchmark is calibrated with one untimed iteration, then run for
+//!   `sample_size` samples; fast bodies are batched so every sample lasts
+//!   at least ~5 ms.
+//! * Reported statistics are per-iteration min / median / mean / max, plus
+//!   elements-or-bytes-per-second when a [`Throughput`] is set.
+//! * `--test` on the command line (what `cargo test` passes to a
+//!   `harness = false` target) runs every benchmark body exactly once and
+//!   skips measurement, so benches double as smoke tests.
+//! * Any non-flag argument is a substring filter on benchmark ids, matching
+//!   `cargo bench <filter>`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Logical items per iteration (events, packets, …).
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("schedule_pop", 1000)` → id `schedule_pop/1000`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{param}", name.into()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handed to each benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`; the results are `black_box`ed so the
+    /// benchmarked work is not optimized away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-benchmark measurement outcome kept for the final summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/bench[/param]`.
+    pub id: String,
+    /// Per-iteration times, one per sample, sorted ascending.
+    pub samples_ns: Vec<f64>,
+    /// Iterations batched into each sample.
+    pub iters_per_sample: u64,
+    /// Units per iteration, if declared.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Median per-iteration time in nanoseconds.
+    pub fn median_ns(&self) -> f64 {
+        percentile(&self.samples_ns, 0.5)
+    }
+
+    /// Mean per-iteration time in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn fmt_rate(units_per_iter: u64, ns_per_iter: f64, unit: &str) -> String {
+    let per_sec = units_per_iter as f64 / (ns_per_iter / 1e9);
+    if per_sec >= 1e9 {
+        format!("{:.2} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2} k{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}/s")
+    }
+}
+
+/// Default number of samples per benchmark (Criterion's 100 is overkill for
+/// whole-simulation benches; groups override via `sample_size`).
+pub const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Minimum wall time per sample; fast bodies are batched up to this.
+const MIN_SAMPLE_NS: f64 = 5_000_000.0;
+
+/// The harness entry point: owns CLI configuration and collected results.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { test_mode: false, filter: None, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Build from the process arguments (see module docs for the grammar).
+    pub fn configured_from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                // Flags cargo/libtest may forward; all are no-ops here.
+                s if s.starts_with('-') => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Force one-shot smoke-test mode (what `--test` sets).
+    pub fn test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Results collected so far (test hook).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the closing line; call once after all groups ran.
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("\n{} benchmarks executed once (test mode)", self.results.len());
+        } else {
+            println!("\n{} benchmarks measured", self.results.len());
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.wants(&id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok");
+            self.results.push(BenchResult {
+                id,
+                samples_ns: vec![b.elapsed.as_nanos() as f64],
+                iters_per_sample: 1,
+                throughput,
+            });
+            return;
+        }
+
+        // Calibration pass: one untimed iteration sizes the sample batches.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let once_ns = (b.elapsed.as_nanos() as f64).max(1.0);
+        let iters = (MIN_SAMPLE_NS / once_ns).ceil().max(1.0) as u64;
+
+        let mut samples: Vec<f64> = (0..sample_size.max(1))
+            .map(|_| {
+                let mut b = Bencher { iters, elapsed: Duration::ZERO };
+                f(&mut b);
+                b.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(|a, c| a.partial_cmp(c).unwrap());
+
+        let result = BenchResult { id, samples_ns: samples, iters_per_sample: iters, throughput };
+        let median = result.median_ns();
+        let mut line = format!(
+            "bench {:<48} {:>12}/iter  [{} .. {}]",
+            result.id,
+            fmt_ns(median),
+            fmt_ns(result.samples_ns[0]),
+            fmt_ns(*result.samples_ns.last().unwrap()),
+        );
+        match result.throughput {
+            Some(Throughput::Elements(n)) => {
+                line.push_str(&format!("  {}", fmt_rate(n, median, "elem")));
+            }
+            Some(Throughput::Bytes(n)) => {
+                line.push_str(&format!("  {}", fmt_rate(n, median, "B")));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.results.push(result);
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput config.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark for subsequent `bench_*` calls.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for subsequent `bench_*` calls.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        self.parent.run_one(id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        self.parent.run_one(id, self.sample_size, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; groups have no teardown).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundle benchmark functions into one group function, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::harness::Criterion) {
+            $( $bench(c); )+
+        }
+    };
+}
+
+/// Generate `main()` for a `harness = false` bench target, mirroring
+/// Criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::configured_from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_bench_once() {
+        let mut c = Criterion::default().test_mode(true);
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("a", |b| {
+                b.iter(|| calls += 1);
+            });
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "g/a");
+    }
+
+    #[test]
+    fn measurement_batches_fast_bodies() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("fast", |b| b.iter(|| 1u64 + 1));
+            g.finish();
+        }
+        let r = &c.results()[0];
+        assert_eq!(r.samples_ns.len(), 3);
+        assert!(r.iters_per_sample > 1, "sub-ns body must be batched");
+        assert!(r.median_ns() >= 0.0 && r.mean_ns() >= 0.0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion { test_mode: true, filter: Some("keep".into()), results: vec![] };
+        let mut ran = vec![];
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("keep_me", |b| b.iter(|| ran.push("keep")));
+            g.bench_function("drop_me", |b| b.iter(|| ran.push("drop")));
+            g.finish();
+        }
+        assert_eq!(ran, vec!["keep"]);
+    }
+
+    #[test]
+    fn benchmark_id_formats_param() {
+        let id = BenchmarkId::new("pop", 1000);
+        assert_eq!(id.id, "pop/1000");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.5);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn with_input_passes_the_input_through() {
+        let mut c = Criterion::default().test_mode(true);
+        let mut seen = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("n", 7), &7u64, |b, &n| {
+                b.iter(|| seen = n);
+            });
+        }
+        assert_eq!(seen, 7);
+        assert_eq!(c.results()[0].id, "g/n/7");
+    }
+}

@@ -1,4 +1,8 @@
-//! Shared helpers for the Criterion benches.
+//! Shared helpers for the benches, plus the in-repo Instant-based
+//! benchmark harness ([`harness`]) that replaces Criterion in the
+//! hermetic workspace.
+
+pub mod harness;
 
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;

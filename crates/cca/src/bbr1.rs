@@ -12,10 +12,10 @@
 use crate::filters::WindowedMaxByRound;
 use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// BBRv1 tuning constants (defaults mirror Linux `tcp_bbr.c`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BbrV1Config {
     /// Startup/Drain gain: 2/ln(2) ≈ 2.885.
     pub high_gain: f64,
@@ -34,6 +34,17 @@ pub struct BbrV1Config {
     /// Seed for the deterministic ProbeBW phase randomizer.
     pub seed: u64,
 }
+
+impl_json_struct!(BbrV1Config {
+    high_gain,
+    cwnd_gain,
+    bw_window_rounds,
+    rtprop_window,
+    probe_rtt_duration,
+    full_bw_count,
+    full_bw_thresh,
+    seed,
+});
 
 impl Default for BbrV1Config {
     fn default() -> Self {

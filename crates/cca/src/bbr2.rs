@@ -18,10 +18,10 @@
 use crate::filters::WindowedMaxByRound;
 use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// BBRv2 tuning constants (defaults follow the v2alpha kernel).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BbrV2Config {
     /// Startup/Drain pacing gain.
     pub high_gain: f64,
@@ -56,6 +56,25 @@ pub struct BbrV2Config {
     /// Seed for deterministic probe scheduling.
     pub seed: u64,
 }
+
+impl_json_struct!(BbrV2Config {
+    high_gain,
+    cwnd_gain,
+    up_gain,
+    down_gain,
+    loss_thresh,
+    beta,
+    headroom,
+    bw_window_rounds,
+    rtprop_window,
+    probe_rtt_duration,
+    probe_wait_base,
+    probe_wait_rand,
+    full_bw_count,
+    full_bw_thresh,
+    ecn_thresh,
+    seed,
+});
 
 impl Default for BbrV2Config {
     fn default() -> Self {

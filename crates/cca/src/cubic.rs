@@ -7,10 +7,10 @@
 
 use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// CUBIC tuning knobs (defaults mirror Linux `tcp_cubic`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CubicConfig {
     /// The cubic scaling constant `C` (segments/s³).
     pub c: f64,
@@ -23,6 +23,8 @@ pub struct CubicConfig {
     /// HyStart delay-based slow-start exit (Linux default on).
     pub hystart: bool,
 }
+
+impl_json_struct!(CubicConfig { c, beta, fast_convergence, tcp_friendliness, hystart });
 
 impl Default for CubicConfig {
     fn default() -> Self {

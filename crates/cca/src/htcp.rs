@@ -10,10 +10,10 @@
 
 use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// H-TCP parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HtcpConfig {
     /// Low-speed regime length Δ_L: below this time since the last loss,
     /// behave like Reno (α = 1).
@@ -27,6 +27,8 @@ pub struct HtcpConfig {
     /// Upper clamp for β.
     pub beta_max: f64,
 }
+
+impl_json_struct!(HtcpConfig { delta_l, adaptive_backoff, throughput_jump, beta_min, beta_max });
 
 impl Default for HtcpConfig {
     fn default() -> Self {

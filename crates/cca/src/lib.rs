@@ -32,7 +32,7 @@ pub use htcp::{Htcp, HtcpConfig};
 pub use reno::Reno;
 
 use elephants_netsim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_unit_enum;
 
 /// Everything a congestion controller learns from one incoming ACK.
 #[derive(Debug, Clone, Copy)]
@@ -126,7 +126,7 @@ pub trait CongestionControl: Send {
 }
 
 /// Which congestion controller to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcaKind {
     /// TCP Reno.
     Reno,
@@ -139,6 +139,8 @@ pub enum CcaKind {
     /// BBR version 2 (v2alpha).
     BbrV2,
 }
+
+impl_json_unit_enum!(CcaKind { Reno, Cubic, Htcp, BbrV1, BbrV2 });
 
 impl CcaKind {
     /// The five CCAs in the paper's grid.

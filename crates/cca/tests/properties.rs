@@ -1,11 +1,11 @@
-//! Property-based tests on congestion-controller invariants.
+//! Property-based tests on congestion-controller invariants (seeded harness).
 
 use elephants_cca::{
     build_cca_seeded, AckEvent, CcaKind, CongestionControl, LossEvent, WindowedMaxByRound,
     WindowedMinByTime,
 };
-use elephants_netsim::{SimDuration, SimTime};
-use proptest::prelude::*;
+use elephants_netsim::prop::{run_cases, vec_of};
+use elephants_netsim::{prop_check, prop_check_eq, RngExt, SimDuration, SimTime, SmallRng};
 
 const MSS: u32 = 1000;
 
@@ -36,21 +36,25 @@ enum Step {
     RecoveryExit,
 }
 
-fn arb_script() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            8 => (1u64..100, 50u64..500, 1u8..16, 1u32..10_000).prop_map(|(dt_ms, rtt_ms, acked_segs, rate_mbps)| {
-                Step::Ack { dt_ms, rtt_ms, acked_segs, rate_mbps }
-            }),
-            1 => Just(Step::Loss),
-            1 => Just(Step::Rto),
-            1 => Just(Step::RecoveryExit),
-        ],
-        1..300,
-    )
+fn gen_script(rng: &mut SmallRng) -> Vec<Step> {
+    vec_of(rng, 1, 300, |r| {
+        // Weights mirror the old proptest strategy: 8 acks : 1 loss : 1 RTO
+        // : 1 recovery exit.
+        match r.random_range(0u32..11) {
+            0..=7 => Step::Ack {
+                dt_ms: r.random_range(1u64..100),
+                rtt_ms: r.random_range(50u64..500),
+                acked_segs: r.random_range(1u8..16),
+                rate_mbps: r.random_range(1u32..10_000),
+            },
+            8 => Step::Loss,
+            9 => Step::Rto,
+            _ => Step::RecoveryExit,
+        }
+    })
 }
 
-fn drive(cca: &mut dyn CongestionControl, script: &[Step]) -> Result<(), TestCaseError> {
+fn drive(cca: &mut dyn CongestionControl, script: &[Step]) -> Result<(), String> {
     let mut now_ms = 0u64;
     let mut round_acc = 0u64;
     for step in script {
@@ -83,37 +87,43 @@ fn drive(cca: &mut dyn CongestionControl, script: &[Step]) -> Result<(), TestCas
                 cca.on_loss_event(&ev);
             }
             Step::Rto => cca.on_rto(SimTime::ZERO + SimDuration::from_millis(now_ms)),
-            Step::RecoveryExit => cca.on_recovery_exit(SimTime::ZERO + SimDuration::from_millis(now_ms)),
+            Step::RecoveryExit => {
+                cca.on_recovery_exit(SimTime::ZERO + SimDuration::from_millis(now_ms))
+            }
         }
         // Universal invariants, checked after every step.
-        prop_assert!(cca.cwnd() >= MSS as u64, "{}: cwnd below 1 MSS: {}", cca.name(), cca.cwnd());
-        prop_assert!(cca.cwnd() < 10_000_000_000, "{}: cwnd exploded: {}", cca.name(), cca.cwnd());
+        prop_check!(cca.cwnd() >= MSS as u64, "{}: cwnd below 1 MSS: {}", cca.name(), cca.cwnd());
+        prop_check!(cca.cwnd() < 10_000_000_000, "{}: cwnd exploded: {}", cca.name(), cca.cwnd());
         if let Some(rate) = cca.pacing_rate() {
-            prop_assert!(rate > 0, "{}: zero pacing rate", cca.name());
+            prop_check!(rate > 0, "{}: zero pacing rate", cca.name());
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_ccas_survive_arbitrary_scripts(script in arb_script(), kind_idx in 0usize..5) {
-        let kind = CcaKind::ALL[kind_idx];
+#[test]
+fn all_ccas_survive_arbitrary_scripts() {
+    run_cases("all_ccas_survive_arbitrary_scripts", 48, |rng| {
+        let script = gen_script(rng);
+        let kind = CcaKind::ALL[rng.random_range(0usize..5)];
         let mut cca = build_cca_seeded(kind, MSS, 7);
-        drive(cca.as_mut(), &script)?;
-    }
+        drive(cca.as_mut(), &script)
+    });
+}
 
-    /// Loss-based CCAs shrink multiplicatively on a loss event.
-    #[test]
-    fn loss_based_ccas_cut_on_loss(kind_idx in 0usize..3, w in 20u64..10_000) {
-        let kind = [CcaKind::Reno, CcaKind::Cubic, CcaKind::Htcp][kind_idx];
+/// Loss-based CCAs shrink multiplicatively on a loss event.
+#[test]
+fn loss_based_ccas_cut_on_loss() {
+    run_cases("loss_based_ccas_cut_on_loss", 48, |rng| {
+        let kind = [CcaKind::Reno, CcaKind::Cubic, CcaKind::Htcp][rng.random_range(0usize..3)];
+        let w = rng.random_range(20u64..10_000);
         let mut cca = build_cca_seeded(kind, MSS, 1);
         // Grow to w segments via slow start.
         while cca.cwnd() < w * MSS as u64 {
             cca.on_ack(&mk_ack(1, 62, MSS as u64, 0, 1_000_000, false), false);
-            if !cca.in_slow_start() { break; }
+            if !cca.in_slow_start() {
+                break;
+            }
         }
         let before = cca.cwnd();
         cca.on_loss_event(&LossEvent {
@@ -124,16 +134,26 @@ proptest! {
             max_rtt_epoch: SimDuration::from_millis(80),
         });
         let after = cca.cwnd();
-        prop_assert!(after < before || before <= 2 * MSS as u64,
-            "{}: no cut {before} -> {after}", kind.name());
-        prop_assert!(after as f64 >= before as f64 * 0.45,
-            "{}: cut too deep {before} -> {after}", kind.name());
-    }
+        prop_check!(
+            after < before || before <= 2 * MSS as u64,
+            "{}: no cut {before} -> {after}",
+            kind.name()
+        );
+        prop_check!(
+            after as f64 >= before as f64 * 0.45,
+            "{}: cut too deep {before} -> {after}",
+            kind.name()
+        );
+        Ok(())
+    });
+}
 
-    /// The windowed-max filter always returns an inserted value and is
-    /// never below any in-window sample.
-    #[test]
-    fn max_filter_correctness(vals in proptest::collection::vec(1u64..1_000_000, 1..100)) {
+/// The windowed-max filter always returns an inserted value and is
+/// never below any in-window sample.
+#[test]
+fn max_filter_correctness() {
+    run_cases("max_filter_correctness", 256, |rng| {
+        let vals = vec_of(rng, 1, 100, |r| r.random_range(1u64..1_000_000));
         let mut f = WindowedMaxByRound::new(8);
         let mut hist: Vec<(u64, u64)> = vec![];
         for (round, &v) in vals.iter().enumerate() {
@@ -146,13 +166,19 @@ proptest! {
                 .map(|&(_, v)| v)
                 .max()
                 .unwrap();
-            prop_assert_eq!(f.get(), Some(expect));
+            prop_check_eq!(f.get(), Some(expect));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The windowed-min filter matches a brute-force reference.
-    #[test]
-    fn min_filter_correctness(vals in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..100)) {
+/// The windowed-min filter matches a brute-force reference.
+#[test]
+fn min_filter_correctness() {
+    run_cases("min_filter_correctness", 256, |rng| {
+        let vals = vec_of(rng, 1, 100, |r| {
+            (r.random_range(0u64..10_000), r.random_range(1u64..100_000))
+        });
         let mut f = WindowedMinByTime::new(SimDuration::from_micros(5_000));
         let mut hist: Vec<(u64, u64)> = vec![];
         let mut t = 0u64;
@@ -166,7 +192,8 @@ proptest! {
                 .map(|&(_, v)| v)
                 .min()
                 .unwrap();
-            prop_assert_eq!(f.get(), Some(SimDuration::from_nanos(expect)), "at t={}", t);
+            prop_check_eq!(f.get(), Some(SimDuration::from_nanos(expect)), "at t={}", t);
         }
-    }
+        Ok(())
+    });
 }

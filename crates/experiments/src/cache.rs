@@ -7,6 +7,7 @@
 
 use crate::runner::{run_scenario, RunResult};
 use crate::scenario::ScenarioConfig;
+use elephants_json::{FromJson, ToJson};
 use std::path::{Path, PathBuf};
 
 /// A JSON file-per-run cache.
@@ -41,8 +42,8 @@ impl RunCache {
         if !self.enabled {
             return None;
         }
-        let bytes = std::fs::read(self.path_for(cfg, seed)).ok()?;
-        serde_json::from_slice(&bytes).ok()
+        let text = std::fs::read_to_string(self.path_for(cfg, seed)).ok()?;
+        RunResult::from_json_str(&text).ok()
     }
 
     /// Store a result (best-effort; IO errors are swallowed).
@@ -53,9 +54,7 @@ impl RunCache {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
         }
-        if let Ok(json) = serde_json::to_vec_pretty(result) {
-            let _ = std::fs::write(self.path_for(cfg, seed), json);
-        }
+        let _ = std::fs::write(self.path_for(cfg, seed), result.to_json_pretty());
     }
 
     /// Run (or fetch) one seed of a scenario.

@@ -1,7 +1,7 @@
 //! # elephants-experiments
 //!
 //! The experiment harness that reproduces the paper's evaluation: the
-//! Table 1 scenario grid, a deterministic runner, a rayon-parallel sweep
+//! Table 1 scenario grid, a deterministic runner, a thread-parallel sweep
 //! with an on-disk result cache, and one assembly function per paper figure
 //! and table (binaries `fig2` … `fig8`, `table2`, `table3`, `sweep`).
 //!
@@ -17,6 +17,7 @@
 pub mod cache;
 pub mod cli;
 pub mod figures;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,100 @@
+//! Minimal work-stealing-free parallel map on scoped `std::thread`s.
+//!
+//! Replaces the former rayon dependency for the sweep. Every `(config,
+//! seed)` run is an independent deterministic simulation, so a shared
+//! atomic work index plus per-worker result buffers is all the machinery
+//! the grid needs — no locks around the work items, no channels, and the
+//! output order is re-established from recorded indices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the number of work items (no point spawning idle threads).
+fn worker_count(items: usize) -> usize {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(items).max(1)
+}
+
+/// Apply `f` to every item in parallel and return results in input order.
+///
+/// `f` must be `Sync` because all workers share it; items are handed out
+/// through an atomic cursor so threads self-balance on uneven run times.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = worker_count(items.len());
+    if workers == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker panicked")).collect()
+    });
+
+    // Reassemble in input order.
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for buf in buffers.drain(..) {
+        for (i, r) in buf {
+            slots[i] = Some(r);
+        }
+    }
+    slots.into_iter().map(|r| r.expect("par_map missed an item")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = par_map(&[41u32], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn uneven_work_still_complete() {
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            if x % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -7,10 +7,10 @@ use elephants_cca::build_cca_seeded;
 use elephants_netsim::{DumbbellSpec, SimConfig, SimTime, Simulator};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_workload::plan_flows;
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// Result of a single (config, seed) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Per-sender goodput in Mbps over the measurement window.
     pub sender_mbps: Vec<f64>,
@@ -29,6 +29,17 @@ pub struct RunResult {
     /// Events processed (diagnostic).
     pub events: u64,
 }
+
+impl_json_struct!(RunResult {
+    sender_mbps,
+    jain,
+    utilization,
+    retransmits,
+    rtos,
+    drops,
+    flows,
+    events,
+});
 
 /// Run one scenario with a specific seed.
 pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
@@ -105,7 +116,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
 }
 
 /// Averages over repeated runs of one scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AveragedResult {
     /// The scenario.
     pub config: ScenarioConfig,

@@ -3,7 +3,7 @@
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
 use elephants_netsim::{bdp_bytes, Bandwidth, SimDuration};
-use serde::{Deserialize, Serialize};
+use elephants_json::{impl_json_struct, impl_json_unit_enum};
 
 /// The paper's bottleneck bandwidths (Table 1).
 pub const PAPER_BWS: [u64; 5] =
@@ -40,7 +40,7 @@ pub fn paper_pairs() -> Vec<(CcaKind, CcaKind)> {
 }
 
 /// One cell of the experiment grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScenarioConfig {
     /// CCA on sender node 0.
     pub cca1: CcaKind,
@@ -68,6 +68,21 @@ pub struct ScenarioConfig {
     /// Base RNG seed; repeats use `seed`, `seed+1`, …
     pub seed: u64,
 }
+
+impl_json_struct!(ScenarioConfig {
+    cca1,
+    cca2,
+    aqm,
+    queue_bdp,
+    bw_bps,
+    duration,
+    warmup,
+    flow_scale,
+    mss,
+    ecn,
+    rtt_ms,
+    seed,
+});
 
 impl ScenarioConfig {
     /// A scenario with paper defaults and runtime knobs from `opts`.
@@ -150,7 +165,7 @@ impl ScenarioConfig {
 }
 
 /// Runtime knobs shared by all scenario constructors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// Preset governing the per-bandwidth simulated duration.
     pub preset: DurationPreset,
@@ -164,8 +179,10 @@ pub struct RunOptions {
     pub seed: u64,
 }
 
+impl_json_struct!(RunOptions { preset, warmup_frac, repeats, flow_scale, seed });
+
 /// How long to simulate per bandwidth.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DurationPreset {
     /// Fast shape-check (CI-friendly).
     Quick,
@@ -174,9 +191,11 @@ pub enum DurationPreset {
     Standard,
     /// The paper's full 200 s everywhere (expensive at 10/25 Gbps).
     Full,
-    /// Tiny runs for criterion benches (seconds of wall time per figure).
+    /// Tiny runs for benchmark harness runs (seconds of wall time per figure).
     Bench,
 }
+
+impl_json_unit_enum!(DurationPreset { Quick, Standard, Full, Bench });
 
 impl RunOptions {
     /// Default options: standard durations, 1 repeat, full flow counts.

@@ -2,14 +2,14 @@
 //!
 //! Every `(config, seed)` run is an independent deterministic simulation, so
 //! the grid is embarrassingly parallel: flatten configs × seeds into one
-//! work list and hand it to rayon. Each worker owns its simulator — no
-//! shared mutable state, no locks (the "share nothing" idiom from the
-//! hpc-parallel guides).
+//! work list and hand it to [`crate::par::par_map`]. Each worker owns its
+//! simulator — no shared mutable state, no locks (the "share nothing"
+//! idiom from the hpc-parallel guides).
 
 use crate::cache::RunCache;
+use crate::par::par_map;
 use crate::runner::{average_runs, AveragedResult, RunResult};
 use crate::scenario::ScenarioConfig;
-use rayon::prelude::*;
 
 /// Run every config for `repeats` seeds, in parallel, through the cache.
 ///
@@ -23,10 +23,8 @@ pub fn sweep(configs: &[ScenarioConfig], repeats: u32, cache: &RunCache) -> Vec<
         .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
         .collect();
 
-    let runs: Vec<(usize, RunResult)> = work
-        .par_iter()
-        .map(|&(i, seed)| (i, cache.run(&configs[i], seed)))
-        .collect();
+    let runs: Vec<(usize, RunResult)> =
+        par_map(&work, |&(i, seed)| (i, cache.run(&configs[i], seed)));
 
     // Regroup by config, preserving seed order.
     let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
@@ -56,15 +54,12 @@ pub fn sweep_with_progress(
     let total = work.len();
     let counter = std::sync::atomic::AtomicUsize::new(0);
 
-    let runs: Vec<(usize, RunResult)> = work
-        .par_iter()
-        .map(|&(i, seed)| {
-            let out = (i, cache.run(&configs[i], seed));
-            let done = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-            progress(done, total);
-            out
-        })
-        .collect();
+    let runs: Vec<(usize, RunResult)> = par_map(&work, |&(i, seed)| {
+        let out = (i, cache.run(&configs[i], seed));
+        let done = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        progress(done, total);
+        out
+    });
 
     let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
     for (i, run) in runs {

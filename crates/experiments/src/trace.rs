@@ -19,10 +19,10 @@ use elephants_cca::build_cca_seeded;
 use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_workload::plan_flows;
-use serde::{Deserialize, Serialize};
+use elephants_json::{impl_json_struct, ToJson};
 
 /// One sampling instant.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TraceSample {
     /// Sample time in seconds.
     pub t: f64,
@@ -38,8 +38,10 @@ pub struct TraceSample {
     pub retransmits: u64,
 }
 
+impl_json_struct!(TraceSample { t, sender_mbps, queue_pkts, queue_bytes, drops, retransmits });
+
 /// A full experiment trace.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioTrace {
     /// The scenario that produced this trace.
     pub config: ScenarioConfig,
@@ -51,10 +53,12 @@ pub struct ScenarioTrace {
     pub samples: Vec<TraceSample>,
 }
 
+impl_json_struct!(ScenarioTrace { config, seed, interval_s, samples });
+
 impl ScenarioTrace {
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace serializes")
+        self.to_json_pretty()
     }
 
     /// Write JSON to `path`, creating parent directories.
@@ -178,6 +182,7 @@ mod tests {
     use crate::scenario::RunOptions;
     use elephants_aqm::AqmKind;
     use elephants_cca::CcaKind;
+    use elephants_json::FromJson;
 
     fn cfg() -> ScenarioConfig {
         ScenarioConfig::new(
@@ -229,7 +234,7 @@ mod tests {
     fn json_round_trip() {
         let trace = run_scenario_traced(&cfg(), 1, SimDuration::from_secs(1));
         let json = trace.to_json();
-        let back: ScenarioTrace = serde_json::from_str(&json).unwrap();
+        let back = ScenarioTrace::from_json_str(&json).unwrap();
         assert_eq!(back.samples.len(), trace.samples.len());
         assert_eq!(back.seed, trace.seed);
     }

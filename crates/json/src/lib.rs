@@ -1,0 +1,866 @@
+//! # elephants-json
+//!
+//! A small, dependency-free JSON layer for the elephants workspace.
+//!
+//! The workspace policy is **zero external crates** — every build must
+//! succeed fully offline — so experiment configs, run results and traces
+//! serialize through this module instead of `serde`/`serde_json`:
+//!
+//! * [`Value`] — an owned JSON document model,
+//! * [`parse`] — a strict recursive-descent parser,
+//! * [`Value::to_string_compact`] / [`Value::to_string_pretty`] — writers
+//!   with deterministic output (object keys keep insertion order, so the
+//!   same data always produces byte-identical text),
+//! * [`ToJson`] / [`FromJson`] — conversion traits implemented for
+//!   primitives and containers here and for domain types in their own
+//!   crates via [`impl_json_struct!`], [`impl_json_unit_enum!`] and
+//!   [`impl_json_newtype!`].
+//!
+//! Integers ride in a dedicated [`Value::Int`] (`i128`) variant rather
+//! than through `f64`, so `u64` seeds and byte counters round-trip
+//! exactly. Non-finite floats serialize as `null` (matching serde_json)
+//! and parse back as `NaN`.
+
+use std::fmt::Write as _;
+
+/// Error produced by parsing or by [`FromJson`] conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonError {
+    /// Construct from anything displayable.
+    pub fn new(msg: impl std::fmt::Display) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+/// An owned JSON document.
+///
+/// Objects are stored as insertion-ordered `(key, value)` pairs, not a
+/// map: serialization order is exactly the order fields were pushed,
+/// which is what makes equal inputs produce byte-identical output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no `.`, `e` or `E` in the source).
+    Int(i128),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a field of an object; errors on missing field or non-object.
+    pub fn get_field(&self, name: &str) -> Result<&Value, JsonError> {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field '{name}'"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field '{name}', got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+
+    /// Short name of this value's kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation (serde_json style).
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_json_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_json_string(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+/// Rust's shortest-round-trip `Display` for finite floats is valid JSON
+/// (it never emits exponents, always a leading digit). Non-finite values
+/// have no JSON representation and become `null`.
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(JsonError::new(format!("trailing input at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(JsonError::new(format!(
+                "unexpected byte '{}' at {}",
+                b as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(JsonError::new(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| JsonError::new(format!("invalid utf-8 in string: {e}")))?;
+                s.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| JsonError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{08}'),
+                        b'f' => s.push('\u{0c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a following \uXXXX low half.
+                                if !self.eat_literal("\\u") {
+                                    return Err(JsonError::new("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(JsonError::new("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            s.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JsonError::new("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(JsonError::new(format!(
+                                "unknown escape '\\{}'",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                Some(b) => {
+                    return Err(JsonError::new(format!(
+                        "raw control byte 0x{b:02x} in string"
+                    )))
+                }
+                None => return Err(JsonError::new("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let txt = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let v = u32::from_str_radix(txt, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let txt = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if float {
+            txt.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| JsonError::new(format!("bad number '{txt}': {e}")))
+        } else {
+            // Magnitudes beyond i128 (e.g. a serialized f64::MAX) fall back
+            // to the float representation rather than erroring.
+            match txt.parse::<i128>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => txt
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|e| JsonError::new(format!("bad number '{txt}': {e}"))),
+            }
+        }
+    }
+}
+
+/// Convert a domain value into a JSON [`Value`].
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Value;
+
+    /// Compact rendering.
+    fn to_json_string(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// Pretty (two-space indented) rendering.
+    fn to_json_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+/// Reconstruct a domain value from a JSON [`Value`].
+pub trait FromJson: Sized {
+    /// Convert from a parsed document.
+    fn from_json(v: &Value) -> Result<Self, JsonError>;
+
+    /// Parse text and convert.
+    fn from_json_str(s: &str) -> Result<Self, JsonError> {
+        Self::from_json(&parse(s)?)
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {
+        $(
+            impl ToJson for $ty {
+                fn to_json(&self) -> Value {
+                    Value::Int(*self as i128)
+                }
+            }
+            impl FromJson for $ty {
+                fn from_json(v: &Value) -> Result<Self, JsonError> {
+                    match v {
+                        Value::Int(i) => <$ty>::try_from(*i).map_err(|_| {
+                            JsonError::new(format!(
+                                "integer {i} out of range for {}",
+                                stringify!($ty)
+                            ))
+                        }),
+                        other => Err(JsonError::new(format!(
+                            "expected integer, got {}",
+                            other.kind_name()
+                        ))),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+impl_json_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for i128 {
+    fn to_json(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl FromJson for i128 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(JsonError::new(format!("expected integer, got {}", other.kind_name()))),
+        }
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(JsonError::new(format!("expected bool, got {}", other.kind_name()))),
+        }
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            // "2" and "2.0" are the same JSON number; accept both.
+            Value::Int(i) => Ok(*i as f64),
+            // Non-finite floats serialize as null.
+            Value::Null => Ok(f64::NAN),
+            other => Err(JsonError::new(format!("expected number, got {}", other.kind_name()))),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        f64::from_json(v).map(|x| x as f32)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(JsonError::new(format!("expected string, got {}", other.kind_name()))),
+        }
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) => items.iter().map(FromJson::from_json).collect(),
+            other => Err(JsonError::new(format!("expected array, got {}", other.kind_name()))),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(x) => x.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+            }
+            other => Err(JsonError::new(format!(
+                "expected 2-element array, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson + Copy + Default, const N: usize> FromJson for [T; N] {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_json(item)?;
+                }
+                Ok(out)
+            }
+            other => Err(JsonError::new(format!(
+                "expected {N}-element array, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+// ---- derive-free impl macros --------------------------------------------
+
+/// Implement [`ToJson`]/[`FromJson`] for a struct with named public (or
+/// crate-visible) fields. Fields serialize in the listed order.
+///
+/// ```
+/// use elephants_json::{impl_json_struct, FromJson, ToJson};
+/// struct P { x: u32, y: f64 }
+/// impl_json_struct!(P { x, y });
+/// let p = P { x: 1, y: 2.5 };
+/// assert_eq!(p.to_json_string(), r#"{"x":1,"y":2.5}"#);
+/// assert_eq!(P::from_json_str(&p.to_json_string()).unwrap().x, 1);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_string(), $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                Ok(Self {
+                    $($field: $crate::FromJson::from_json(v.get_field(stringify!($field))?)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a fieldless enum, serialized as
+/// the variant name string (matching what serde's derive produced).
+#[macro_export]
+macro_rules! impl_json_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::Value::Str(match self {
+                    $($ty::$variant => stringify!($variant),)+
+                }.to_string())
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                match v {
+                    $crate::Value::Str(s) => match s.as_str() {
+                        $(stringify!($variant) => Ok($ty::$variant),)+
+                        other => Err($crate::JsonError::new(format!(
+                            "unknown {} variant '{}'", stringify!($ty), other
+                        ))),
+                    },
+                    other => Err($crate::JsonError::new(format!(
+                        "expected string for {}, got {}", stringify!($ty), other.kind_name()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+/// Implement [`ToJson`]/[`FromJson`] for a single-field tuple struct,
+/// serialized transparently as its inner value.
+#[macro_export]
+macro_rules! impl_json_newtype {
+    ($ty:ident) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Value {
+                $crate::ToJson::to_json(&self.0)
+            }
+        }
+        impl $crate::FromJson for $ty {
+            fn from_json(v: &$crate::Value) -> Result<Self, $crate::JsonError> {
+                Ok($ty($crate::FromJson::from_json(v)?))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Demo {
+        n: u64,
+        rate: f64,
+        label: String,
+        tags: Vec<u32>,
+        opt: Option<bool>,
+    }
+    impl_json_struct!(Demo { n, rate, label, tags, opt });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+    }
+    impl_json_unit_enum!(Color { Red, Green });
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Wrapper(u64);
+    impl_json_newtype!(Wrapper);
+
+    fn demo() -> Demo {
+        Demo {
+            n: u64::MAX,
+            rate: 0.1,
+            label: "a \"b\"\nc".to_string(),
+            tags: vec![1, 2, 3],
+            opt: None,
+        }
+    }
+
+    #[test]
+    fn struct_round_trip() {
+        let d = demo();
+        let back = Demo::from_json_str(&d.to_json_string()).unwrap();
+        assert_eq!(back, d);
+        let back = Demo::from_json_str(&d.to_json_pretty()).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn u64_max_survives_round_trip() {
+        // The reason Value has a dedicated Int variant: f64 would lose this.
+        assert_eq!(u64::from_json_str(&u64::MAX.to_json_string()).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(demo().to_json_pretty(), demo().to_json_pretty());
+        assert_eq!(
+            demo().to_json_string(),
+            r#"{"n":18446744073709551615,"rate":0.1,"label":"a \"b\"\nc","tags":[1,2,3],"opt":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_format_is_indented() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Int(1)),
+            ("b".into(), Value::Array(vec![Value::Int(2)])),
+        ]);
+        assert_eq!(v.to_string_pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn unit_enum_round_trip() {
+        assert_eq!(Color::Red.to_json_string(), r#""Red""#);
+        assert_eq!(Color::from_json_str(r#""Green""#).unwrap(), Color::Green);
+        assert!(Color::from_json_str(r#""Blue""#).is_err());
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        assert_eq!(Wrapper(7).to_json_string(), "7");
+        assert_eq!(Wrapper::from_json_str("7").unwrap(), Wrapper(7));
+    }
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        for x in [0.0, -0.5, 1.0, 0.1, 1e-9, 775000.0, f64::MAX] {
+            let s = x.to_json_string();
+            assert_eq!(f64::from_json_str(&s).unwrap(), x, "via {s}");
+        }
+        // Whole floats print without a fraction and come back equal.
+        assert_eq!(f64::from_json_str("1").unwrap(), 1.0);
+        // Non-finite becomes null, which reads back as NaN.
+        assert_eq!(f64::NAN.to_json_string(), "null");
+        assert!(f64::from_json_str("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse(r#"{"a" 1}"#).is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = parse(r#""a\u00e9b\ud83d\ude00c\/""#).unwrap();
+        assert_eq!(v, Value::Str("aéb\u{1F600}c/".to_string()));
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let pairs: [(u64, u64); 3] = [(1, 2), (3, 4), (0, 0)];
+        let s = pairs.to_json_string();
+        assert_eq!(<[(u64, u64); 3]>::from_json_str(&s).unwrap(), pairs);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_json_str("256").is_err());
+        assert!(u64::from_json_str("-1").is_err());
+        assert!(u64::from_json_str("1.5").is_err());
+    }
+}

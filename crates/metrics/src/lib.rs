@@ -9,7 +9,7 @@ pub mod stats;
 
 pub use stats::{mean, mean_std, Summary};
 
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// Jain's fairness index over per-entity throughputs (paper Eq. 2).
 ///
@@ -63,13 +63,15 @@ pub fn relative_retransmissions(retx: u64, retx_cubic_ref: u64) -> f64 {
 /// Per-sender aggregate used for the fairness computations: the paper's
 /// per-sender Jain index treats each *sender node* (all its iperf flows
 /// combined) as one entity (`n = 2`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SenderThroughput {
     /// Sender index (0 or 1 in the paper's dumbbell).
     pub sender: u32,
     /// Aggregate goodput in bits/s over the measurement window.
     pub goodput_bps: f64,
 }
+
+impl_json_struct!(SenderThroughput { sender, goodput_bps });
 
 /// Group per-flow goodputs into per-sender totals.
 pub fn per_sender_goodput(flow_goodputs: &[(u32, f64)]) -> Vec<SenderThroughput> {
@@ -81,7 +83,7 @@ pub fn per_sender_goodput(flow_goodputs: &[(u32, f64)]) -> Vec<SenderThroughput>
 }
 
 /// Everything the study reports for one (config, seed) run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunMetrics {
     /// Per-sender goodput (bits/s).
     pub senders: Vec<SenderThroughput>,
@@ -96,6 +98,8 @@ pub struct RunMetrics {
     /// Bottleneck drops (enqueue + dequeue).
     pub drops: u64,
 }
+
+impl_json_struct!(RunMetrics { senders, jain, utilization, retransmits, rtos, drops });
 
 impl RunMetrics {
     /// Assemble run metrics from raw ingredients.

@@ -1,6 +1,6 @@
 //! Small summary-statistics helpers for aggregating repeated runs.
 
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
 
 /// Mean of a slice (0.0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
@@ -21,7 +21,7 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// Five-number-ish summary of repeated measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub n: usize,
@@ -34,6 +34,8 @@ pub struct Summary {
     /// Maximum.
     pub max: f64,
 }
+
+impl_json_struct!(Summary { n, mean, std, min, max });
 
 impl Summary {
     /// Summarize a sample set (empty input yields zeros).

@@ -5,12 +5,11 @@
 //! that extension: a per-link random-loss process applied to packets after
 //! serialization (i.e. in-flight corruption, invisible to the AQM).
 
-use rand::rngs::SmallRng;
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use crate::rng::{RngExt, SmallRng};
+use elephants_json::{FromJson, JsonError, ToJson, Value};
 
 /// A random packet-loss process on a link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LossModel {
     /// No induced loss (the default).
     #[default]
@@ -31,6 +30,51 @@ pub enum LossModel {
         /// P(Bad → Good) per packet.
         p_bg: f64,
     },
+}
+
+impl ToJson for LossModel {
+    fn to_json(&self) -> Value {
+        match *self {
+            LossModel::None => Value::Str("None".to_string()),
+            LossModel::Bernoulli { p } => Value::Object(vec![(
+                "Bernoulli".to_string(),
+                Value::Object(vec![("p".to_string(), p.to_json())]),
+            )]),
+            LossModel::GilbertElliott { p_gb, p_bg } => Value::Object(vec![(
+                "GilbertElliott".to_string(),
+                Value::Object(vec![
+                    ("p_gb".to_string(), p_gb.to_json()),
+                    ("p_bg".to_string(), p_bg.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for LossModel {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) if s == "None" => Ok(LossModel::None),
+            Value::Object(fields) => match fields.first().map(|(k, _)| k.as_str()) {
+                Some("Bernoulli") => {
+                    let body = v.get_field("Bernoulli")?;
+                    Ok(LossModel::Bernoulli { p: f64::from_json(body.get_field("p")?)? })
+                }
+                Some("GilbertElliott") => {
+                    let body = v.get_field("GilbertElliott")?;
+                    Ok(LossModel::GilbertElliott {
+                        p_gb: f64::from_json(body.get_field("p_gb")?)?,
+                        p_bg: f64::from_json(body.get_field("p_bg")?)?,
+                    })
+                }
+                _ => Err(JsonError::new("unknown LossModel variant".to_string())),
+            },
+            other => Err(JsonError::new(format!(
+                "expected LossModel, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
 }
 
 impl LossModel {
@@ -81,7 +125,7 @@ impl LossState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn none_never_drops() {

@@ -42,7 +42,9 @@ pub mod event;
 pub mod fault;
 pub mod link;
 pub mod packet;
+pub mod prop;
 pub mod queue;
+pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod topology;
@@ -53,6 +55,7 @@ pub use fault::LossModel;
 pub use link::{Link, LinkId, LinkSpec, LinkStats};
 pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketKind, SACK_MAX};
 pub use queue::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
+pub use rng::{Rng, RngExt, SeedableRng, SmallRng};
 pub use sim::{Ctx, EndpointReport, FlowEndpoint, RunSummary, SimConfig, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DumbbellSpec, Topology};
@@ -68,6 +71,5 @@ pub mod prelude {
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{DumbbellSpec, Topology};
     pub use crate::units::{bdp_bytes, Bandwidth};
-    pub use rand::rngs::SmallRng;
-    pub use rand::{Rng, RngExt, SeedableRng};
+    pub use crate::rng::{Rng, RngExt, SeedableRng, SmallRng};
 }

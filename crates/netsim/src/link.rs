@@ -6,21 +6,25 @@ use crate::packet::{NodeId, Packet};
 use crate::queue::{Aqm, AqmStats, DropTail};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
-use rand::rngs::SmallRng;
-use serde::{Deserialize, Serialize};
+use crate::rng::SmallRng;
+use elephants_json::{impl_json_newtype, impl_json_struct};
 
 /// Index of a link within the topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
+impl_json_newtype!(LinkId);
+
 /// Declarative description of a link (rate + propagation delay).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
     /// Serialization rate.
     pub rate: Bandwidth,
     /// One-way propagation delay.
     pub prop: SimDuration,
 }
+
+impl_json_struct!(LinkSpec { rate, prop });
 
 impl LinkSpec {
     /// Construct a link spec.
@@ -156,7 +160,7 @@ impl std::fmt::Debug for Link {
 mod tests {
     use super::*;
     use crate::packet::FlowId;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     fn mk_link(rate_mbps: u64, prop_ms: u64) -> Link {
         Link::with_big_fifo(

@@ -8,24 +8,31 @@
 //! the study measures.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
+use elephants_json::{
+    impl_json_newtype, impl_json_struct, impl_json_unit_enum, FromJson, JsonError, ToJson, Value,
+};
 
 /// Identifier of a flow (an independent TCP connection).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlowId(pub u32);
 
 /// Identifier of a node (host or router) in the topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
+impl_json_newtype!(FlowId);
+impl_json_newtype!(NodeId);
+
 /// Which endpoint of a flow a packet or timer is addressed to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// The data sender (runs the congestion controller).
     Sender,
     /// The data receiver (generates ACKs).
     Receiver,
 }
+
+impl_json_unit_enum!(Dir { Sender, Receiver });
 
 /// Maximum number of SACK ranges carried in one ACK (mirrors the common
 /// 3-block limit of a real TCP header with timestamps).
@@ -36,7 +43,7 @@ pub const SACK_MAX: usize = 3;
 /// `cum` is the next expected sequence number (everything below `cum` has
 /// been received in order). `sacks[..n_sacks]` are half-open `[start, end)`
 /// ranges received above `cum`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AckInfo {
     /// Cumulative ACK: next expected in-order sequence number.
     pub cum: u64,
@@ -47,6 +54,8 @@ pub struct AckInfo {
     /// ECN echo: the receiver saw a Congestion Experienced mark.
     pub ecn_echo: bool,
 }
+
+impl_json_struct!(AckInfo { cum, sacks, n_sacks, ecn_echo });
 
 impl AckInfo {
     /// An ACK with only a cumulative component.
@@ -66,7 +75,7 @@ impl AckInfo {
 }
 
 /// What kind of segment a packet carries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// A data segment of one MSS (identified by `Packet::seq`).
     Data,
@@ -74,8 +83,30 @@ pub enum PacketKind {
     Ack(AckInfo),
 }
 
+impl ToJson for PacketKind {
+    fn to_json(&self) -> Value {
+        match self {
+            PacketKind::Data => Value::Str("Data".to_string()),
+            PacketKind::Ack(info) => Value::Object(vec![("Ack".to_string(), info.to_json())]),
+        }
+    }
+}
+
+impl FromJson for PacketKind {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) if s == "Data" => Ok(PacketKind::Data),
+            Value::Object(_) => Ok(PacketKind::Ack(AckInfo::from_json(v.get_field("Ack")?)?)),
+            other => Err(JsonError::new(format!(
+                "expected PacketKind, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
 /// A packet on the wire. `Copy`, header-only.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Packet {
     /// Flow this packet belongs to.
     pub flow: FlowId,
@@ -101,6 +132,20 @@ pub struct Packet {
     /// Whether this is a retransmission (diagnostic only).
     pub retx: bool,
 }
+
+impl_json_struct!(Packet {
+    flow,
+    src,
+    dst,
+    seq,
+    size,
+    kind,
+    sent_at,
+    enqueued_at,
+    ecn_capable,
+    ecn_ce,
+    retx,
+});
 
 impl Packet {
     /// Construct a data segment.

@@ -1,0 +1,198 @@
+//! Seeded randomized-test harness.
+//!
+//! The workspace's replacement for `proptest`: property tests run a fixed
+//! number of cases, each driven by a [`SmallRng`] whose seed is derived
+//! deterministically from the test name and the case index. A failing
+//! property panics with the exact seed, so the case reproduces with
+//!
+//! ```text
+//! ELEPHANTS_PROP_SEED=<seed> cargo test -p <crate> <test_name>
+//! ```
+//!
+//! There is no shrinking — cases are small by construction (generators
+//! draw bounded sizes), and the deterministic seed makes any failure
+//! replayable and debuggable as-is.
+//!
+//! Properties return `Result<(), String>`; the [`prop_check!`],
+//! [`prop_check_eq!`] and [`prop_check_ne!`] macros early-return a
+//! formatted `Err` the harness attaches to the panic message.
+
+use crate::rng::{SeedableRng, SmallRng};
+
+/// Default number of cases per property (matches proptest's default scale).
+pub const DEFAULT_CASES: u32 = 256;
+
+/// FNV-1a over the test name: stable per-property seed stream base.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `property` for `cases` deterministic seeds, panicking with the
+/// reproducing seed on the first failure.
+///
+/// If the `ELEPHANTS_PROP_SEED` environment variable is set, only that
+/// seed runs — the replay path for a reported failure.
+pub fn run_cases<F>(name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), String>,
+{
+    if let Ok(seed_txt) = std::env::var("ELEPHANTS_PROP_SEED") {
+        let seed: u64 = seed_txt
+            .parse()
+            .unwrap_or_else(|_| panic!("ELEPHANTS_PROP_SEED must be a u64, got '{seed_txt}'"));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!("property '{name}' failed under replay seed {seed}: {msg}");
+        }
+        return;
+    }
+    let base = name_hash(name);
+    for case in 0..cases {
+        let seed = base.wrapping_add(case as u64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Err(msg) = property(&mut rng) {
+            panic!(
+                "property '{name}' failed on case {case}/{cases} (replay with \
+                 ELEPHANTS_PROP_SEED={seed}): {msg}"
+            );
+        }
+    }
+}
+
+/// Assert a condition inside a property, early-returning `Err` on failure.
+#[macro_export]
+macro_rules! prop_check {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "check failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "check failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal inside a property.
+#[macro_export]
+macro_rules! prop_check_eq {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "check failed at {}:{}: {} == {} ({:?} vs {:?}){}",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs,
+                {
+                    #[allow(unused_mut, unused_assignments)]
+                    let mut extra = String::new();
+                    $(extra = format!(": {}", format!($($fmt)+));)?
+                    extra
+                }
+            ));
+        }
+    }};
+}
+
+/// Assert two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_check_ne {
+    ($a:expr, $b:expr $(, $($fmt:tt)+)?) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs == rhs {
+            return Err(format!(
+                "check failed at {}:{}: {} != {} (both {:?}){}",
+                file!(),
+                line!(),
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                {
+                    #[allow(unused_mut, unused_assignments)]
+                    let mut extra = String::new();
+                    $(extra = format!(": {}", format!($($fmt)+));)?
+                    extra
+                }
+            ));
+        }
+    }};
+}
+
+/// Draw a random `Vec<T>` with a length in `[min_len, max_len)`.
+pub fn vec_of<T>(
+    rng: &mut SmallRng,
+    min_len: usize,
+    max_len: usize,
+    mut gen: impl FnMut(&mut SmallRng) -> T,
+) -> Vec<T> {
+    use crate::rng::RngExt;
+    let len = rng.random_range(min_len..max_len);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngExt;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_cases("always_true", 16, |_| Ok(()));
+        run_cases("count_cases", 16, |_| {
+            count += 1;
+            Ok(())
+        });
+        // `count` moved into the closure by reference; the harness ran it.
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "ELEPHANTS_PROP_SEED")]
+    fn failing_property_reports_replay_seed() {
+        run_cases("always_false", 4, |_| Err("boom".to_string()));
+    }
+
+    #[test]
+    fn check_macros_format_failures() {
+        fn prop(flag: bool) -> Result<(), String> {
+            prop_check!(flag, "flag was {}", flag);
+            prop_check_eq!(1 + 1, 2);
+            prop_check_ne!(1, 2);
+            Ok(())
+        }
+        assert!(prop(true).is_ok());
+        let err = prop(false).unwrap_err();
+        assert!(err.contains("flag was false"), "{err}");
+    }
+
+    #[test]
+    fn vec_of_respects_bounds_and_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let va = vec_of(&mut a, 1, 50, |r| r.random_range(0u64..100));
+        let vb = vec_of(&mut b, 1, 50, |r| r.random_range(0u64..100));
+        assert_eq!(va, vb);
+        assert!(!va.is_empty() && va.len() < 50);
+    }
+}

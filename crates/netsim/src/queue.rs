@@ -6,7 +6,7 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
-use rand::rngs::SmallRng;
+use crate::rng::SmallRng;
 use std::collections::VecDeque;
 
 /// Outcome of an enqueue attempt.
@@ -153,7 +153,7 @@ impl Aqm for DropTail {
 mod tests {
     use super::*;
     use crate::packet::{FlowId, NodeId};
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     fn pkt(seq: u64, size: u32) -> Packet {
         Packet::data(FlowId(0), NodeId(0), NodeId(1), seq, size, SimTime::ZERO)

@@ -6,8 +6,7 @@ use crate::packet::{Dir, FlowId, NodeId, Packet};
 use crate::queue::AqmStats;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::rng::{SeedableRng, SmallRng};
 use std::any::Any;
 
 /// What a protocol endpoint reports at the end of a run.

@@ -6,7 +6,7 @@
 //! bit-for-bit reproducible: two events scheduled from different code paths
 //! can never swap order due to rounding.
 
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_newtype;
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
@@ -14,12 +14,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
 /// A point in simulated time (nanoseconds since run start).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of simulated time (nanoseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
+
+impl_json_newtype!(SimTime);
+impl_json_newtype!(SimDuration);
 
 impl SimTime {
     /// The origin of simulated time.

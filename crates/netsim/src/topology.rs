@@ -9,16 +9,18 @@ use crate::link::{Link, LinkId, LinkSpec};
 use crate::packet::NodeId;
 use crate::queue::Aqm;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
+use elephants_json::{impl_json_struct, impl_json_unit_enum};
 
 /// What role a node plays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// Terminates flows (runs protocol endpoints).
     Host,
     /// Forwards packets by static routes.
     Router,
 }
+
+impl_json_unit_enum!(NodeKind { Host, Router });
 
 /// A static-routed network: links plus per-node next-hop tables.
 pub struct Topology {
@@ -145,7 +147,7 @@ impl std::fmt::Debug for Topology {
 /// `n_pairs` sender hosts connect through router 1 → router 2 to `n_pairs`
 /// receiver hosts. Propagation delays of access (sender↔router1), bottleneck
 /// (router1↔router2) and leaf (router2↔receiver) links sum to half the RTT.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DumbbellSpec {
     /// Number of sender/receiver host pairs (the paper uses 2).
     pub n_pairs: usize,
@@ -156,6 +158,8 @@ pub struct DumbbellSpec {
     /// Router2 ↔ receiver host links.
     pub leaf: LinkSpec,
 }
+
+impl_json_struct!(DumbbellSpec { n_pairs, bottleneck, access, leaf });
 
 impl DumbbellSpec {
     /// The paper's topology: 2 host pairs, 25 Gbps access/leaf NICs, and a

@@ -1,12 +1,14 @@
 //! Bandwidth units and bandwidth-delay-product helpers.
 
 use crate::time::{SimDuration, NANOS_PER_SEC};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_newtype;
 use std::fmt;
 
 /// A link or path bandwidth, stored as bits per second.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bandwidth(u64);
+
+impl_json_newtype!(Bandwidth);
 
 impl Bandwidth {
     /// Zero bandwidth (used as a sentinel for "unknown").

@@ -1,14 +1,15 @@
-//! Property-based tests for the DES engine primitives.
+//! Property-based tests for the DES engine primitives (seeded harness).
 
 use elephants_netsim::prelude::*;
-use elephants_netsim::{bdp_bytes, Event, EventQueue};
-use proptest::prelude::*;
+use elephants_netsim::prop::{run_cases, vec_of, DEFAULT_CASES};
+use elephants_netsim::{bdp_bytes, prop_check, prop_check_eq, Event, EventQueue};
 
-proptest! {
-    /// The event queue is a total order: pops come out sorted by time, and
-    /// equal times preserve insertion order.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue is a total order: pops come out sorted by time, and
+/// equal times preserve insertion order.
+#[test]
+fn event_queue_total_order() {
+    run_cases("event_queue_total_order", DEFAULT_CASES, |rng| {
+        let times = vec_of(rng, 1, 200, |r| r.random_range(0u64..1_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(
@@ -22,70 +23,94 @@ proptest! {
             popped += 1;
             let Event::Timer { flow, .. } = ev else { unreachable!() };
             if let Some((lt, lf)) = last {
-                prop_assert!(at.as_nanos() > lt || (at.as_nanos() == lt && flow.0 > lf),
-                    "order violated: ({lt},{lf}) then ({},{})", at.as_nanos(), flow.0);
+                prop_check!(
+                    at.as_nanos() > lt || (at.as_nanos() == lt && flow.0 > lf),
+                    "order violated: ({lt},{lf}) then ({},{})",
+                    at.as_nanos(),
+                    flow.0
+                );
             }
             last = Some((at.as_nanos(), flow.0));
         }
-        prop_assert_eq!(popped, times.len());
-    }
+        prop_check_eq!(popped, times.len());
+        Ok(())
+    });
+}
 
-    /// Serialization time is consistent with bytes_in (inverse functions).
-    #[test]
-    fn serialization_inverts(bps in 1_000_000u64..100_000_000_000, bytes in 1u64..10_000_000) {
+/// Serialization time is consistent with bytes_in (inverse functions).
+#[test]
+fn serialization_inverts() {
+    run_cases("serialization_inverts", DEFAULT_CASES, |rng| {
+        let bps = rng.random_range(1_000_000u64..100_000_000_000);
+        let bytes = rng.random_range(1u64..10_000_000);
         let bw = Bandwidth::from_bps(bps);
         let t = bw.serialization_time(bytes);
         let back = bw.bytes_in(t);
         // Rounding may lose at most one byte per nanosecond boundary.
-        prop_assert!((back as i128 - bytes as i128).abs() <= 1 + bps as i128 / 8_000_000_000,
-            "bytes {bytes} -> {t:?} -> {back}");
-    }
+        prop_check!(
+            (back as i128 - bytes as i128).abs() <= 1 + bps as i128 / 8_000_000_000,
+            "bytes {bytes} -> {t:?} -> {back}"
+        );
+        Ok(())
+    });
+}
 
-    /// BDP is monotone in both bandwidth and RTT.
-    #[test]
-    fn bdp_monotone(bps in 1_000_000u64..50_000_000_000, ms in 1u64..500) {
+/// BDP is monotone in both bandwidth and RTT.
+#[test]
+fn bdp_monotone() {
+    run_cases("bdp_monotone", DEFAULT_CASES, |rng| {
+        let bps = rng.random_range(1_000_000u64..50_000_000_000);
+        let ms = rng.random_range(1u64..500);
         let b1 = bdp_bytes(Bandwidth::from_bps(bps), SimDuration::from_millis(ms));
         let b2 = bdp_bytes(Bandwidth::from_bps(bps * 2), SimDuration::from_millis(ms));
         let b3 = bdp_bytes(Bandwidth::from_bps(bps), SimDuration::from_millis(ms * 2));
-        prop_assert!(b2 >= b1);
-        prop_assert!(b3 >= b1);
+        prop_check!(b2 >= b1);
+        prop_check!(b3 >= b1);
         // And linear: doubling either doubles the product (within rounding).
-        prop_assert!((b2 as i128 - 2 * b1 as i128).abs() <= 1);
-        prop_assert!((b3 as i128 - 2 * b1 as i128).abs() <= 1);
-    }
+        prop_check!((b2 as i128 - 2 * b1 as i128).abs() <= 1);
+        prop_check!((b3 as i128 - 2 * b1 as i128).abs() <= 1);
+        Ok(())
+    });
+}
 
-    /// Time arithmetic: (t + d) - t == d for all representable values.
-    #[test]
-    fn time_add_sub_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+/// Time arithmetic: (t + d) - t == d for all representable values.
+#[test]
+fn time_add_sub_roundtrip() {
+    run_cases("time_add_sub_roundtrip", DEFAULT_CASES, |rng| {
+        let t = rng.random_range(0u64..u64::MAX / 2);
+        let d = rng.random_range(0u64..u64::MAX / 4);
         let t0 = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((t0 + dur) - t0, dur);
-        prop_assert_eq!((t0 + dur).since(t0), dur);
-    }
+        prop_check_eq!((t0 + dur) - t0, dur);
+        prop_check_eq!((t0 + dur).since(t0), dur);
+        Ok(())
+    });
+}
 
-    /// Droptail backlog never exceeds its limit and conserves bytes.
-    #[test]
-    fn droptail_limit_invariant(
-        sizes in proptest::collection::vec(64u32..9001, 1..300),
-        limit in 10_000u64..200_000,
-    ) {
+/// Droptail backlog never exceeds its limit and conserves bytes.
+#[test]
+fn droptail_limit_invariant() {
+    run_cases("droptail_limit_invariant", DEFAULT_CASES, |rng| {
+        let sizes = vec_of(rng, 1, 300, |r| r.random_range(64u32..9001));
+        let limit = rng.random_range(10_000u64..200_000);
         let mut q = DropTail::new(limit);
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut qrng = SmallRng::seed_from_u64(5);
         let mut accepted_bytes = 0u64;
         for (i, &size) in sizes.iter().enumerate() {
             let pkt = Packet::data(FlowId(0), NodeId(0), NodeId(1), i as u64, size, SimTime::ZERO);
-            if q.enqueue(pkt, SimTime::ZERO, &mut rng) == Verdict::Enqueued {
+            if q.enqueue(pkt, SimTime::ZERO, &mut qrng) == Verdict::Enqueued {
                 accepted_bytes += size as u64;
             }
-            prop_assert!(q.backlog_bytes() <= limit);
+            prop_check!(q.backlog_bytes() <= limit);
         }
         // Drain and verify byte conservation.
         let mut drained = 0u64;
-        while let Some(p) = q.dequeue(SimTime::ZERO, &mut rng).pkt {
+        while let Some(p) = q.dequeue(SimTime::ZERO, &mut qrng).pkt {
             drained += p.size as u64;
         }
-        prop_assert_eq!(drained, accepted_bytes);
-    }
+        prop_check_eq!(drained, accepted_bytes);
+        Ok(())
+    });
 }
 
 /// Deterministic mini-simulations with randomized blast sizes: the engine
@@ -155,11 +180,12 @@ mod delivery {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-
-        #[test]
-        fn every_packet_delivered_exactly_once(n1 in 1u64..300, n2 in 1u64..300, seed in 0u64..100) {
+    #[test]
+    fn every_packet_delivered_exactly_once() {
+        run_cases("every_packet_delivered_exactly_once", 32, |rng| {
+            let n1 = rng.random_range(1u64..300);
+            let n2 = rng.random_range(1u64..300);
+            let seed = rng.random_range(0u64..100);
             let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
             let topo = spec.build();
             let mut sim = Simulator::new(
@@ -183,10 +209,11 @@ mod delivery {
                 );
             }
             let summary = sim.run();
-            prop_assert_eq!(summary.flows[0].receiver.delivered_segments, n1);
-            prop_assert_eq!(summary.flows[1].receiver.delivered_segments, n2);
+            prop_check_eq!(summary.flows[0].receiver.delivered_segments, n1);
+            prop_check_eq!(summary.flows[1].receiver.delivered_segments, n2);
             // Blasts fit comfortably in the big access FIFOs: zero drops.
-            prop_assert_eq!(summary.bottleneck.aqm.dropped_total(), 0);
-        }
+            prop_check_eq!(summary.bottleneck.aqm.dropped_total(), 0);
+            Ok(())
+        });
     }
 }

@@ -1,8 +1,8 @@
-//! Property-based tests for the TCP machinery.
+//! Property-based tests for the TCP machinery (seeded harness).
 
-use elephants_netsim::{SimDuration, SimTime};
+use elephants_netsim::prop::{run_cases, vec_of, DEFAULT_CASES};
+use elephants_netsim::{prop_check, prop_check_eq, RngExt, SimDuration, SimTime, SmallRng};
 use elephants_tcp::{PktMeta, PktState, RttEstimator, Scoreboard};
-use proptest::prelude::*;
 
 fn meta(t: u64) -> PktMeta {
     PktMeta {
@@ -28,26 +28,27 @@ enum Op {
     Revert,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            4 => (1u8..8).prop_map(Op::Send),
-            2 => (1u8..8).prop_map(Op::CumAck),
-            2 => (0u8..40, 1u8..6).prop_map(|(lo, len)| Op::Sack { lo, len }),
-            1 => Just(Op::DetectLosses),
-            1 => Just(Op::RetxOne),
-            1 => Just(Op::MarkAllLost),
-            1 => Just(Op::Revert),
-        ],
-        1..200,
-    )
+fn gen_ops(rng: &mut SmallRng) -> Vec<Op> {
+    vec_of(rng, 1, 200, |r| {
+        // Weights mirror the old proptest strategy: 4:2:2:1:1:1:1.
+        match r.random_range(0u32..12) {
+            0..=3 => Op::Send(r.random_range(1u8..8)),
+            4..=5 => Op::CumAck(r.random_range(1u8..8)),
+            6..=7 => Op::Sack { lo: r.random_range(0u8..40), len: r.random_range(1u8..6) },
+            8 => Op::DetectLosses,
+            9 => Op::RetxOne,
+            10 => Op::MarkAllLost,
+            _ => Op::Revert,
+        }
+    })
 }
 
-proptest! {
-    /// Conservation: every tracked segment is in exactly one state, SACKs
-    /// are idempotent, cumulative ACKs only move forward.
-    #[test]
-    fn scoreboard_conservation(ops in arb_ops()) {
+/// Conservation: every tracked segment is in exactly one state, SACKs
+/// are idempotent, cumulative ACKs only move forward.
+#[test]
+fn scoreboard_conservation() {
+    run_cases("scoreboard_conservation", DEFAULT_CASES, |rng| {
+        let ops = gen_ops(rng);
         let mut sb = Scoreboard::new();
         let mut t = 0u64;
         for op in &ops {
@@ -68,7 +69,7 @@ proptest! {
                         }
                         prev = Some(seq);
                     });
-                    prop_assert_eq!(sb.snd_una(), target);
+                    prop_check_eq!(sb.snd_una(), target);
                 }
                 Op::Sack { lo, len } => {
                     let s = sb.snd_una() + lo as u64;
@@ -76,11 +77,11 @@ proptest! {
                     let before = sb.sacked_count();
                     let mut newly = 0;
                     sb.apply_sack(s, e, |_, _| newly += 1);
-                    prop_assert_eq!(sb.sacked_count(), before + newly);
+                    prop_check_eq!(sb.sacked_count(), before + newly);
                     // Idempotent.
                     let mut again = 0;
                     sb.apply_sack(s, e, |_, _| again += 1);
-                    prop_assert_eq!(again, 0);
+                    prop_check_eq!(again, 0);
                 }
                 Op::DetectLosses => {
                     sb.detect_losses(3, |_| {});
@@ -89,44 +90,55 @@ proptest! {
                     if let Some(seq) = sb.next_lost() {
                         t += 1;
                         sb.mark_retransmitted(seq, meta(t));
-                        prop_assert!(sb.get(seq).unwrap().retx);
+                        prop_check!(sb.get(seq).unwrap().retx);
                     }
                 }
                 Op::MarkAllLost => sb.mark_all_lost(),
                 Op::Revert => {
                     sb.revert_lost_to_outstanding();
-                    prop_assert_eq!(sb.lost_pending(), 0);
+                    prop_check_eq!(sb.lost_pending(), 0);
                 }
             }
-            prop_assert!(sb.check_conservation(), "state counters drifted");
-            prop_assert!(sb.snd_una() <= sb.snd_nxt());
-            prop_assert!(sb.inflight_segments() as usize + sb.lost_pending() + sb.sacked_count() <= sb.len());
+            prop_check!(sb.check_conservation(), "state counters drifted");
+            prop_check!(sb.snd_una() <= sb.snd_nxt());
+            prop_check!(
+                sb.inflight_segments() as usize + sb.lost_pending() + sb.sacked_count() <= sb.len()
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The RTO estimator never returns less than the minimum or more than
-    /// the maximum, and is monotone under backoff.
-    #[test]
-    fn rto_bounds(samples in proptest::collection::vec(1u64..5_000, 1..100), backoffs in 0u32..20) {
+/// The RTO estimator never returns less than the minimum or more than
+/// the maximum, and is monotone under backoff.
+#[test]
+fn rto_bounds() {
+    run_cases("rto_bounds", DEFAULT_CASES, |rng| {
+        let samples = vec_of(rng, 1, 100, |r| r.random_range(1u64..5_000));
+        let backoffs = rng.random_range(0u32..20);
         let mut e = RttEstimator::new();
         for &ms in &samples {
             e.on_sample(SimDuration::from_millis(ms));
-            prop_assert!(e.rto() >= elephants_tcp::MIN_RTO);
-            prop_assert!(e.rto() <= elephants_tcp::MAX_RTO);
+            prop_check!(e.rto() >= elephants_tcp::MIN_RTO);
+            prop_check!(e.rto() <= elephants_tcp::MAX_RTO);
             let srtt = e.srtt().unwrap();
-            prop_assert!(e.rto() >= srtt, "RTO must exceed SRTT");
+            prop_check!(e.rto() >= srtt, "RTO must exceed SRTT");
         }
         let mut prev = e.rto();
         for _ in 0..backoffs {
             e.backoff();
-            prop_assert!(e.rto() >= prev);
+            prop_check!(e.rto() >= prev);
             prev = e.rto();
         }
-    }
+        Ok(())
+    });
+}
 
-    /// SRTT stays within the convex hull of its samples.
-    #[test]
-    fn srtt_bounded_by_samples(samples in proptest::collection::vec(1u64..10_000, 1..200)) {
+/// SRTT stays within the convex hull of its samples.
+#[test]
+fn srtt_bounded_by_samples() {
+    run_cases("srtt_bounded_by_samples", DEFAULT_CASES, |rng| {
+        let samples = vec_of(rng, 1, 200, |r| r.random_range(1u64..10_000));
         let mut e = RttEstimator::new();
         let (mut lo, mut hi) = (u64::MAX, 0u64);
         for &ms in &samples {
@@ -135,17 +147,22 @@ proptest! {
             e.on_sample(SimDuration::from_millis(ms));
         }
         let srtt = e.srtt().unwrap().as_millis_f64();
-        prop_assert!(srtt >= lo as f64 - 1.0 && srtt <= hi as f64 + 1.0, "srtt {srtt} outside [{lo},{hi}]");
-        prop_assert_eq!(e.min_rtt().unwrap(), SimDuration::from_millis(lo));
-    }
+        prop_check!(
+            srtt >= lo as f64 - 1.0 && srtt <= hi as f64 + 1.0,
+            "srtt {srtt} outside [{lo},{hi}]"
+        );
+        prop_check_eq!(e.min_rtt().unwrap(), SimDuration::from_millis(lo));
+        Ok(())
+    });
+}
 
-    /// Rate samples never exceed the true send/ack rate envelope.
-    #[test]
-    fn rate_sample_honest(
-        delivered_delta in 1u64..10_000_000,
-        snd_us in 1u64..1_000_000,
-        ack_us in 1u64..1_000_000,
-    ) {
+/// Rate samples never exceed the true send/ack rate envelope.
+#[test]
+fn rate_sample_honest() {
+    run_cases("rate_sample_honest", DEFAULT_CASES, |rng| {
+        let delivered_delta = rng.random_range(1u64..10_000_000);
+        let snd_us = rng.random_range(1u64..1_000_000);
+        let ack_us = rng.random_range(1u64..1_000_000);
         let t0 = SimTime::ZERO;
         let rate = elephants_tcp::rate::delivery_rate_bps(
             delivered_delta,
@@ -154,10 +171,12 @@ proptest! {
             t0,
             t0 + SimDuration::from_micros(snd_us + ack_us),
             t0 + SimDuration::from_micros(snd_us),
-        ).unwrap();
+        )
+        .unwrap();
         // Max of both intervals: rate is at most delta/max(snd,ack).
         let max_int = snd_us.max(ack_us) as f64 / 1e6;
         let ceiling = delivered_delta as f64 * 8.0 / max_int;
-        prop_assert!(rate as f64 <= ceiling * 1.001, "rate {rate} over ceiling {ceiling}");
-    }
+        prop_check!(rate as f64 <= ceiling * 1.001, "rate {rate} over ceiling {ceiling}");
+        Ok(())
+    });
 }

@@ -13,18 +13,19 @@
 //! | 25 Gbps | 500 | 25 processes/node × 10 streams |
 
 use elephants_netsim::{Bandwidth, SimDuration, SimTime};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use elephants_json::impl_json_struct;
+use elephants_netsim::{RngExt, SeedableRng, SmallRng};
 
 /// An iperf3-style flow group on one sender node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IperfConfig {
     /// Number of iperf3 processes on the node.
     pub processes: u32,
     /// Parallel streams (`-P`) per process.
     pub streams: u32,
 }
+
+impl_json_struct!(IperfConfig { processes, streams });
 
 impl IperfConfig {
     /// Flows contributed by this node.
@@ -57,13 +58,15 @@ pub fn table2_total_flows(bw: Bandwidth) -> u32 {
 }
 
 /// A planned set of flows for one experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowPlan {
     /// Flows per sender node.
     pub per_sender: u32,
     /// Start time of each flow, indexed `[sender][flow]`.
     pub starts: Vec<Vec<SimTime>>,
 }
+
+impl_json_struct!(FlowPlan { per_sender, starts });
 
 impl FlowPlan {
     /// Total flows across all senders.

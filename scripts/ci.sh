@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI entry point: the workspace must build and test fully offline.
+#
+# The workspace is hermetic — every dependency is an in-repo path crate —
+# so `--offline` is not a restriction but an enforcement: any reintroduced
+# registry dependency fails resolution here before it fails review.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline

@@ -1,0 +1,127 @@
+//! Dependency guard: the workspace must stay hermetic.
+//!
+//! Every `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`
+//! entry in every workspace manifest must resolve to an in-repo path crate
+//! — either directly (`path = "..."`) or through `workspace = true`
+//! inheritance from the root `[workspace.dependencies]` table, whose
+//! entries must themselves be path deps. A registry dependency (`foo =
+//! "1.0"` or `foo = { version = "..." }`) fails this test with the
+//! offending manifest and line, before it gets a chance to break the
+//! offline build.
+
+use std::path::{Path, PathBuf};
+
+/// Collect every Cargo.toml under the workspace root, skipping build
+/// output and VCS metadata.
+fn find_manifests(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name == "Cargo.toml" {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Does a dependency-table line declare an in-repo dependency?
+fn line_is_path_dep(line: &str) -> bool {
+    line.contains("path =") || line.contains("path=") || line.contains("workspace = true")
+}
+
+/// Scan one manifest; returns `(line_number, line)` for every dependency
+/// entry that is not an in-repo path/workspace dependency.
+fn scan_manifest(text: &str) -> Vec<(usize, String)> {
+    let mut offending = Vec::new();
+    let mut in_dep_table = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            // `[dependencies]`, `[dev-dependencies]`, `[build-dependencies]`,
+            // `[workspace.dependencies]`, and `[target.'...'.dependencies]`
+            // all end in "dependencies]". Dotted headers like
+            // `[dependencies.foo]` name a single dep as a sub-table; those
+            // are checked entry-by-entry below.
+            in_dep_table = line.ends_with("dependencies]");
+            if line.contains("dependencies.") {
+                // Sub-table form: the table itself must declare a path.
+                in_dep_table = true;
+            }
+            continue;
+        }
+        if !in_dep_table {
+            continue;
+        }
+        // Inside a dependency table every `name = value` entry must point
+        // at an in-repo crate. Sub-table bodies (`path = "..."`, `version`)
+        // are key/value lines too; `path` keys pass the same check.
+        if line.contains('=') && !line_is_path_dep(line) {
+            // Allow pure structural keys inside a `[dependencies.foo]`
+            // sub-table that has a `path` key elsewhere; to stay simple and
+            // strict, only `features`/`default-features` keys are excused.
+            let key = line.split('=').next().unwrap_or("").trim();
+            if key == "features" || key == "default-features" || key == "optional" {
+                continue;
+            }
+            offending.push((idx + 1, raw.to_string()));
+        }
+    }
+    offending
+}
+
+#[test]
+fn every_workspace_dependency_is_a_path_dependency() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().expect("workspace root").to_path_buf();
+    let manifests = find_manifests(&root);
+    assert!(
+        manifests.len() >= 10,
+        "expected the full workspace (root + members), found {} manifests",
+        manifests.len()
+    );
+
+    let mut violations = Vec::new();
+    for manifest in &manifests {
+        let text = std::fs::read_to_string(manifest).expect("manifest readable");
+        for (line_no, line) in scan_manifest(&text) {
+            violations.push(format!("{}:{line_no}: {line}", manifest.display()));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-path dependencies found (the workspace must stay hermetic):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn scanner_flags_registry_dependencies() {
+    let bad = "[package]\nname = \"x\"\n[dependencies]\nrand = \"0.9\"\nserde = { version = \"1\", features = [\"derive\"] }\n";
+    let hits = scan_manifest(bad);
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    assert!(hits[0].1.contains("rand"));
+    assert!(hits[1].1.contains("serde"));
+}
+
+#[test]
+fn scanner_accepts_path_and_workspace_dependencies() {
+    let good = "[package]\nname = \"x\"\nversion.workspace = true\n[dependencies]\nfoo = { path = \"../foo\" }\nbar = { workspace = true }\n[dev-dependencies]\nbaz = { path = \"../baz\", features = [\"extra\"] }\n";
+    assert!(scan_manifest(good).is_empty());
+}

@@ -1,48 +1,68 @@
-//! Property-based tests over the public APIs (proptest).
+//! Property-based tests over the public APIs (seeded harness).
 
 use elephants::aqm::{Codel, CodelConfig, FqCodel, FqCodelConfig, Red, RedConfig};
 use elephants::metrics::{jain_index, relative_retransmissions, Summary};
 use elephants::netsim::prelude::*;
-use elephants::netsim::{Aqm, FlowId, NodeId, Packet};
-use proptest::prelude::*;
+use elephants::netsim::prop::{run_cases, vec_of, DEFAULT_CASES};
+use elephants::netsim::{prop_check, prop_check_eq, Aqm, FlowId, NodeId, Packet};
 
-fn arb_throughputs() -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.0f64..1e10, 1..20)
+fn gen_throughputs(rng: &mut SmallRng) -> Vec<f64> {
+    vec_of(rng, 1, 20, |r| r.random_range(0.0f64..1e10))
 }
 
-proptest! {
-    #[test]
-    fn jain_index_is_in_unit_interval(tputs in arb_throughputs()) {
+#[test]
+fn jain_index_is_in_unit_interval() {
+    run_cases("jain_index_is_in_unit_interval", DEFAULT_CASES, |rng| {
+        let tputs = gen_throughputs(rng);
         let j = jain_index(&tputs);
-        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "J = {j}");
-    }
+        prop_check!(j > 0.0 && j <= 1.0 + 1e-12, "J = {j}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn jain_index_is_scale_invariant(tputs in arb_throughputs(), k in 0.001f64..1000.0) {
+#[test]
+fn jain_index_is_scale_invariant() {
+    run_cases("jain_index_is_scale_invariant", DEFAULT_CASES, |rng| {
+        let tputs = gen_throughputs(rng);
+        let k = rng.random_range(0.001f64..1000.0);
         let a = jain_index(&tputs);
         let scaled: Vec<f64> = tputs.iter().map(|&x| x * k).collect();
         let b = jain_index(&scaled);
-        prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
-    }
+        prop_check!((a - b).abs() < 1e-9, "{a} vs {b}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn jain_equals_one_iff_all_equal(x in 1.0f64..1e9, n in 2usize..10) {
+#[test]
+fn jain_equals_one_iff_all_equal() {
+    run_cases("jain_equals_one_iff_all_equal", DEFAULT_CASES, |rng| {
+        let x = rng.random_range(1.0f64..1e9);
+        let n = rng.random_range(2usize..10);
         let v = vec![x; n];
-        prop_assert!((jain_index(&v) - 1.0).abs() < 1e-12);
-    }
+        prop_check!((jain_index(&v) - 1.0).abs() < 1e-12);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rr_is_multiplicative_identity_on_self(r in 1u64..1_000_000) {
-        prop_assert_eq!(relative_retransmissions(r, r), 1.0);
-    }
+#[test]
+fn rr_is_multiplicative_identity_on_self() {
+    run_cases("rr_is_multiplicative_identity_on_self", DEFAULT_CASES, |rng| {
+        let r = rng.random_range(1u64..1_000_000);
+        prop_check_eq!(relative_retransmissions(r, r), 1.0);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn summary_bounds_hold(xs in proptest::collection::vec(-1e12f64..1e12, 1..50)) {
+#[test]
+fn summary_bounds_hold() {
+    run_cases("summary_bounds_hold", DEFAULT_CASES, |rng| {
+        let xs = vec_of(rng, 1, 50, |r| r.random_range(-1e12f64..1e12));
         let s = Summary::of(&xs);
-        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
-        prop_assert!(s.std >= 0.0);
-        prop_assert_eq!(s.n, xs.len());
-    }
+        prop_check!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_check!(s.std >= 0.0);
+        prop_check_eq!(s.n, xs.len());
+        Ok(())
+    });
 }
 
 fn mk_pkt(flow: u32, seq: u64, size: u32) -> Packet {
@@ -57,18 +77,15 @@ enum Op {
     Advance { us: u64 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0u32..8, 64u32..9001).prop_map(|(flow, size)| Op::Enq { flow, size }),
-            Just(Op::Deq),
-            (1u64..5_000).prop_map(|us| Op::Advance { us }),
-        ],
-        1..200,
-    )
+fn gen_ops(rng: &mut SmallRng) -> Vec<Op> {
+    vec_of(rng, 1, 200, |r| match r.random_range(0u32..3) {
+        0 => Op::Enq { flow: r.random_range(0u32..8), size: r.random_range(64u32..9001) },
+        1 => Op::Deq,
+        _ => Op::Advance { us: r.random_range(1u64..5_000) },
+    })
 }
 
-fn exercise(aqm: &mut dyn Aqm, ops: &[Op]) -> Result<(), TestCaseError> {
+fn exercise(aqm: &mut dyn Aqm, ops: &[Op]) -> Result<(), String> {
     let mut rng = SmallRng::seed_from_u64(99);
     let mut now = SimTime::ZERO;
     let mut seq = 0u64;
@@ -91,7 +108,7 @@ fn exercise(aqm: &mut dyn Aqm, ops: &[Op]) -> Result<(), TestCaseError> {
         let s = aqm.stats();
         let rhs = s.dequeued + s.dropped_dequeue + aqm.backlog_pkts() as u64;
         if aqm.name() == "fq_codel" {
-            prop_assert!(
+            prop_check!(
                 s.enqueued >= rhs && s.enqueued <= rhs + s.dropped_enqueue,
                 "conservation violated for fq_codel: enq={} rhs={} evict={}",
                 s.enqueued,
@@ -99,52 +116,66 @@ fn exercise(aqm: &mut dyn Aqm, ops: &[Op]) -> Result<(), TestCaseError> {
                 s.dropped_enqueue
             );
         } else {
-            prop_assert_eq!(s.enqueued, rhs, "conservation violated for {}", aqm.name());
+            prop_check_eq!(s.enqueued, rhs, "conservation violated for {}", aqm.name());
         }
     }
     Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn droptail_conserves_packets(ops in arb_ops()) {
+#[test]
+fn droptail_conserves_packets() {
+    run_cases("droptail_conserves_packets", 64, |rng| {
+        let ops = gen_ops(rng);
         let mut q = DropTail::new(100_000);
-        exercise(&mut q, &ops)?;
-    }
+        exercise(&mut q, &ops)
+    });
+}
 
-    #[test]
-    fn red_conserves_packets(ops in arb_ops()) {
+#[test]
+fn red_conserves_packets() {
+    run_cases("red_conserves_packets", 64, |rng| {
+        let ops = gen_ops(rng);
         let mut q = Red::new(RedConfig::tc_defaults(200_000, 100_000_000, 1500));
-        exercise(&mut q, &ops)?;
-    }
+        exercise(&mut q, &ops)
+    });
+}
 
-    #[test]
-    fn codel_conserves_packets(ops in arb_ops()) {
-        let mut q = Codel::new(CodelConfig { limit_bytes: 100_000, mtu: 1500, ..Default::default() });
-        exercise(&mut q, &ops)?;
-    }
+#[test]
+fn codel_conserves_packets() {
+    run_cases("codel_conserves_packets", 64, |rng| {
+        let ops = gen_ops(rng);
+        let mut q =
+            Codel::new(CodelConfig { limit_bytes: 100_000, mtu: 1500, ..Default::default() });
+        exercise(&mut q, &ops)
+    });
+}
 
-    #[test]
-    fn fq_codel_conserves_packets(ops in arb_ops()) {
+#[test]
+fn fq_codel_conserves_packets() {
+    run_cases("fq_codel_conserves_packets", 64, |rng| {
+        let ops = gen_ops(rng);
         let mut q = FqCodel::new(FqCodelConfig::tc_defaults(100_000, 1500));
-        exercise(&mut q, &ops)?;
-    }
+        exercise(&mut q, &ops)
+    });
+}
 
-    #[test]
-    fn fq_codel_backlog_bytes_never_negative_nor_leaks(ops in arb_ops()) {
+#[test]
+fn fq_codel_backlog_bytes_never_negative_nor_leaks() {
+    run_cases("fq_codel_backlog_bytes_never_negative_nor_leaks", 64, |rng| {
+        let ops = gen_ops(rng);
         let mut q = FqCodel::new(FqCodelConfig::tc_defaults(50_000, 1500));
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng2 = SmallRng::seed_from_u64(3);
         let mut now = SimTime::ZERO;
         let mut seq = 0;
         for op in &ops {
             match *op {
                 Op::Enq { flow, size } => {
                     seq += 1;
-                    q.enqueue(mk_pkt(flow, seq, size), now, &mut rng);
+                    q.enqueue(mk_pkt(flow, seq, size), now, &mut rng2);
                 }
-                Op::Deq => { q.dequeue(now, &mut rng); }
+                Op::Deq => {
+                    q.dequeue(now, &mut rng2);
+                }
                 Op::Advance { us } => now += SimDuration::from_micros(us),
             }
         }
@@ -152,30 +183,27 @@ proptest! {
         now += SimDuration::from_secs(10);
         let mut guard = 0;
         while q.backlog_pkts() > 0 {
-            let r = q.dequeue(now, &mut rng);
-            prop_assert!(r.pkt.is_some() || r.dropped > 0, "backlog stuck at {}", q.backlog_pkts());
+            let r = q.dequeue(now, &mut rng2);
+            prop_check!(r.pkt.is_some() || r.dropped > 0, "backlog stuck at {}", q.backlog_pkts());
             guard += 1;
-            prop_assert!(guard < 10_000);
+            prop_check!(guard < 10_000);
         }
-        prop_assert_eq!(q.backlog_bytes(), 0);
-    }
+        prop_check_eq!(q.backlog_bytes(), 0);
+        Ok(())
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// End-to-end determinism over random scenario knobs: two identical
-    /// short runs must agree exactly.
-    #[test]
-    fn simulation_is_deterministic(
-        seed in 0u64..1000,
-        q in 1usize..4,
-        cca_idx in 0usize..5,
-    ) {
+/// End-to-end determinism over random scenario knobs: two identical
+/// short runs must agree exactly.
+#[test]
+fn simulation_is_deterministic() {
+    run_cases("simulation_is_deterministic", 16, |rng| {
         use elephants::cca::CcaKind;
         use elephants::experiments::{run_scenario, RunOptions, ScenarioConfig};
         use elephants::AqmKind;
-        let cca = CcaKind::ALL[cca_idx];
+        let seed = rng.random_range(0u64..1000);
+        let q = rng.random_range(1usize..4);
+        let cca = CcaKind::ALL[rng.random_range(0usize..5)];
         let cfg = ScenarioConfig::new(
             cca,
             CcaKind::Cubic,
@@ -186,8 +214,9 @@ proptest! {
         );
         let a = run_scenario(&cfg, seed);
         let b = run_scenario(&cfg, seed);
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.sender_mbps, b.sender_mbps);
-        prop_assert_eq!(a.retransmits, b.retransmits);
-    }
+        prop_check_eq!(a.events, b.events);
+        prop_check_eq!(a.sender_mbps, b.sender_mbps);
+        prop_check_eq!(a.retransmits, b.retransmits);
+        Ok(())
+    });
 }
