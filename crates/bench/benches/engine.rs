@@ -4,7 +4,7 @@
 use elephants_aqm::{build_aqm, AqmKind};
 use elephants_bench::bench_scenario;
 use elephants_bench::harness::{BenchmarkId, Criterion, Throughput};
-use elephants_bench::{criterion_group, criterion_main};
+use elephants_bench::criterion_group;
 use elephants_cca::CcaKind;
 use elephants_experiments::run_scenario;
 use elephants_netsim::{Event, EventQueue, FlowId, NodeId, Packet, SimTime, TimerKind};
@@ -24,6 +24,7 @@ fn bench_event_queue(c: &mut Criterion) {
                             flow: FlowId(i as u32),
                             dir: elephants_netsim::Dir::Sender,
                             kind: TimerKind::Rto,
+                            gen: 0,
                         },
                     );
                 }
@@ -76,5 +77,25 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_aqm_hot_path, bench_sim_throughput);
-criterion_main!(benches);
+/// The regression scenario behind `BENCH_netsim.json`: the paper's 25 Gbps
+/// FIFO cell at quick scale. See `elephants_bench::report`.
+fn bench_regression(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(5);
+    g.bench_function("25gbps_fifo_quick", |b| {
+        let cfg = elephants_bench::regression_scenario();
+        b.iter(|| run_scenario(&cfg, 1));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_aqm_hot_path, bench_sim_throughput, bench_regression);
+
+// Hand-rolled main instead of `criterion_main!`: after the benches run, the
+// regression measurement is folded into the BENCH_netsim.json trajectory.
+fn main() {
+    let mut c = elephants_bench::harness::Criterion::configured_from_args();
+    benches(&mut c);
+    c.final_summary();
+    elephants_bench::report::emit_engine_report(&c);
+}

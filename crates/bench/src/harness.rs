@@ -148,16 +148,11 @@ pub const DEFAULT_SAMPLE_SIZE: usize = 20;
 const MIN_SAMPLE_NS: f64 = 5_000_000.0;
 
 /// The harness entry point: owns CLI configuration and collected results.
+#[derive(Default)]
 pub struct Criterion {
     test_mode: bool,
     filter: Option<String>,
     results: Vec<BenchResult>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { test_mode: false, filter: None, results: Vec::new() }
-    }
 }
 
 impl Criterion {
@@ -179,6 +174,11 @@ impl Criterion {
     pub fn test_mode(mut self, on: bool) -> Self {
         self.test_mode = on;
         self
+    }
+
+    /// Whether the harness is in one-shot smoke-test mode.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
     }
 
     /// Open a named group of benchmarks.

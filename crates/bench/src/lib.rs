@@ -3,6 +3,7 @@
 //! hermetic workspace.
 
 pub mod harness;
+pub mod report;
 
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
@@ -27,4 +28,19 @@ pub fn bench_scenario(cca1: CcaKind, cca2: CcaKind, aqm: AqmKind, queue_bdp: f64
     cfg.duration = SimDuration::from_secs(2);
     cfg.warmup = SimDuration::from_millis(500);
     cfg
+}
+
+/// The benchmark-regression scenario: the paper's 25 Gbps FIFO cell at the
+/// quick preset (2 s simulated, 500 flows, 2 BDP queue). This is the cell
+/// that bottlenecks the full sweep grid, so events/second here is the number
+/// the perf trajectory in `BENCH_netsim.json` tracks.
+pub fn regression_scenario() -> ScenarioConfig {
+    ScenarioConfig::new(
+        CcaKind::Cubic,
+        CcaKind::Cubic,
+        AqmKind::Fifo,
+        2.0,
+        25_000_000_000,
+        &RunOptions::quick(),
+    )
 }

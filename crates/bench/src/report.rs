@@ -1,0 +1,160 @@
+//! The benchmark-regression report: `BENCH_netsim.json`.
+//!
+//! The engine bench measures the paper's 25 Gbps FIFO cell at quick scale
+//! and records events/second, ns/event, and the peak bottleneck-queue depth
+//! into a JSON trajectory file at the workspace root. Each entry is keyed by
+//! a label (`BENCH_LABEL` env var, default `"current"`); re-running with the
+//! same label replaces that entry, so the file accumulates one entry per
+//! milestone and future PRs have a perf baseline to defend.
+
+use crate::harness::Criterion;
+use crate::regression_scenario;
+use elephants_experiments::run_scenario;
+use elephants_json::{impl_json_struct, FromJson, ToJson};
+use std::path::PathBuf;
+
+/// Benchmark id (group/name) of the regression scenario in the engine bench.
+pub const REGRESSION_BENCH_ID: &str = "engine/25gbps_fifo_quick";
+
+/// One measured point on the perf trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Milestone label (e.g. `"pr2-baseline"`, `"current"`).
+    pub label: String,
+    /// Simulated events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock nanoseconds per simulated event.
+    pub ns_per_event: f64,
+    /// Median wall-clock time for the whole scenario run, milliseconds.
+    pub median_run_ms: f64,
+    /// Events processed by one run of the scenario.
+    pub events_processed: u64,
+    /// Largest bottleneck-queue depth observed, in packets.
+    pub peak_queue_pkts: u64,
+}
+
+impl_json_struct!(BenchEntry {
+    label,
+    events_per_sec,
+    ns_per_event,
+    median_run_ms,
+    events_processed,
+    peak_queue_pkts,
+});
+
+/// The whole trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Human-readable description of the measured scenario.
+    pub scenario: String,
+    /// One entry per milestone label.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl_json_struct!(BenchReport { scenario, entries });
+
+impl BenchReport {
+    /// Insert `entry`, replacing any previous entry with the same label.
+    pub fn upsert(&mut self, entry: BenchEntry) {
+        self.entries.retain(|e| e.label != entry.label);
+        self.entries.push(entry);
+    }
+
+    /// Ratio of `a`'s events/sec over `b`'s, if both labels are present.
+    pub fn speedup(&self, a: &str, b: &str) -> Option<f64> {
+        let ea = self.entries.iter().find(|e| e.label == a)?;
+        let eb = self.entries.iter().find(|e| e.label == b)?;
+        Some(ea.events_per_sec / eb.events_per_sec)
+    }
+}
+
+/// Where the trajectory file lives: `$BENCH_OUT`, or `BENCH_netsim.json` at
+/// the workspace root.
+pub fn default_report_path() -> PathBuf {
+    match std::env::var_os("BENCH_OUT") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_netsim.json"),
+    }
+}
+
+/// Build the trajectory entry for the regression scenario from the measured
+/// median and one counting run (events processed + peak queue depth).
+pub fn measure_entry(label: String, median_ns: f64) -> BenchEntry {
+    let probe = run_scenario(&regression_scenario(), 1);
+    BenchEntry {
+        label,
+        events_per_sec: probe.events as f64 / (median_ns / 1e9),
+        ns_per_event: median_ns / probe.events as f64,
+        median_run_ms: median_ns / 1e6,
+        events_processed: probe.events,
+        peak_queue_pkts: probe.peak_queue_pkts,
+    }
+}
+
+/// Emit/refresh `BENCH_netsim.json` from a finished engine-bench run.
+///
+/// No-op when the regression benchmark did not run (filtered out) or in
+/// `--test` one-shot mode (timings would be meaningless).
+pub fn emit_engine_report(c: &Criterion) {
+    if c.is_test_mode() {
+        return;
+    }
+    let Some(r) = c.results().iter().find(|r| r.id == REGRESSION_BENCH_ID) else {
+        return;
+    };
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
+    let entry = measure_entry(label, r.median_ns());
+
+    let path = default_report_path();
+    let mut report = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| BenchReport::from_json_str(&s).ok())
+        .unwrap_or_else(|| BenchReport { scenario: String::new(), entries: Vec::new() });
+    report.scenario = format!("{} (quick preset)", regression_scenario().label());
+    report.upsert(entry);
+    match std::fs::write(&path, report.to_json_pretty()) {
+        Ok(()) => println!("bench report written to {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, eps: f64) -> BenchEntry {
+        BenchEntry {
+            label: label.to_string(),
+            events_per_sec: eps,
+            ns_per_event: 1e9 / eps,
+            median_run_ms: 1.0,
+            events_processed: 1000,
+            peak_queue_pkts: 7,
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_same_label() {
+        let mut r = BenchReport { scenario: "s".into(), entries: vec![entry("a", 1.0)] };
+        r.upsert(entry("a", 2.0));
+        r.upsert(entry("b", 3.0));
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.entries[0].events_per_sec, 2.0);
+    }
+
+    #[test]
+    fn speedup_between_labels() {
+        let mut r = BenchReport { scenario: "s".into(), entries: vec![] };
+        r.upsert(entry("old", 2.0));
+        r.upsert(entry("new", 3.0));
+        assert_eq!(r.speedup("new", "old"), Some(1.5));
+        assert_eq!(r.speedup("new", "missing"), None);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let r = BenchReport { scenario: "s".into(), entries: vec![entry("a", 1.5)] };
+        let back = BenchReport::from_json_str(&r.to_json_pretty()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -39,6 +39,8 @@
 //! assert!(outcome.utilization <= 1.0);
 //! ```
 
+pub use elephants_json as json;
+
 pub use elephants_aqm as aqm;
 pub use elephants_cca as cca;
 pub use elephants_experiments as experiments;

@@ -27,6 +27,7 @@ pub mod trace;
 
 pub use cache::RunCache;
 pub use cli::Cli;
+pub use par::{par_map, par_map_with_workers};
 pub use figures::{
     fig2, fig3, fig4, fig5, fig6, fig7, fig8, render_table3, table3, FigureOutput, Table3Row,
     FIGURE_BUFFERS_BDP,

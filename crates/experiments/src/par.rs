@@ -25,10 +25,24 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_with_workers(items, worker_count(items.len()), f)
+}
+
+/// [`par_map`] with an explicit worker count (`0` means the default).
+///
+/// The result must not depend on `workers`: items are independent and the
+/// output is reassembled in input order, so any thread count yields the
+/// same vector. Tests pin this down by sweeping worker counts.
+pub fn par_map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     if items.is_empty() {
         return Vec::new();
     }
-    let workers = worker_count(items.len());
+    let workers = if workers == 0 { worker_count(items.len()) } else { workers.min(items.len()) };
     if workers == 1 {
         return items.iter().map(&f).collect();
     }
@@ -84,6 +98,15 @@ mod tests {
     fn single_item_runs_inline() {
         let out = par_map(&[41u32], |&x| x + 1);
         assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for workers in [0, 1, 2, 3, 8] {
+            assert_eq!(par_map_with_workers(&items, workers, |&x| x * x), expect);
+        }
     }
 
     #[test]

@@ -8,6 +8,17 @@ use elephants_netsim::{DumbbellSpec, SimConfig, SimTime, Simulator};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_workload::plan_flows;
 use elephants_json::impl_json_struct;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many runs had a degenerate (zero-width) measurement window clamped
+/// away (see [`run_scenario`]). A nonzero value means some scenario was
+/// configured with `warmup >= duration`.
+static DEGENERATE_WINDOW_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of runs so far whose measurement window had to be clamped.
+pub fn degenerate_window_runs() -> u64 {
+    DEGENERATE_WINDOW_RUNS.load(Ordering::Relaxed)
+}
 
 /// Result of a single (config, seed) run.
 #[derive(Debug, Clone)]
@@ -28,6 +39,8 @@ pub struct RunResult {
     pub flows: u32,
     /// Events processed (diagnostic).
     pub events: u64,
+    /// Largest bottleneck-queue depth observed, in packets.
+    pub peak_queue_pkts: u64,
 }
 
 impl_json_struct!(RunResult {
@@ -39,6 +52,7 @@ impl_json_struct!(RunResult {
     drops,
     flows,
     events,
+    peak_queue_pkts,
 });
 
 /// Run one scenario with a specific seed.
@@ -55,7 +69,17 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
         seed,
     ));
 
-    let sim_cfg = SimConfig { duration: cfg.duration, warmup: cfg.warmup, max_events: u64::MAX };
+    // A warmup at or past the end of the run would leave a zero-width
+    // measurement window, turning every windowed rate below into a division
+    // by zero (inf/NaN goodput). Clamp to "no warmup" and count the incident
+    // so sweeps can surface the misconfiguration.
+    let warmup = if cfg.duration <= cfg.warmup && !cfg.duration.is_zero() {
+        DEGENERATE_WINDOW_RUNS.fetch_add(1, Ordering::Relaxed);
+        elephants_netsim::SimDuration::ZERO
+    } else {
+        cfg.warmup
+    };
+    let sim_cfg = SimConfig { duration: cfg.duration, warmup, max_events: u64::MAX };
     let mut sim = Simulator::new(topo, sim_cfg, seed);
 
     let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
@@ -101,7 +125,9 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
     // inside the window). Receiver goodput would over-count in short runs:
     // the backlog queued during warmup drains into the window, which with a
     // 16 BDP buffer can exceed capacity x window by several percent.
-    let wire_bps = summary.bottleneck.bytes_tx_window as f64 * 8.0 / summary.window.as_secs_f64();
+    let window_s = summary.window.as_secs_f64();
+    let wire_bps =
+        if window_s > 0.0 { summary.bottleneck.bytes_tx_window as f64 * 8.0 / window_s } else { 0.0 };
     let utilization = elephants_metrics::link_utilization(wire_bps, cfg.bw_bps as f64);
     RunResult {
         sender_mbps: senders.iter().map(|s| s.goodput_bps / 1e6).collect(),
@@ -112,6 +138,7 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
         drops,
         flows: plan.total(),
         events: summary.events_processed,
+        peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
     }
 }
 
@@ -139,8 +166,18 @@ pub fn average_runs(config: ScenarioConfig, runs: Vec<RunResult>) -> AveragedRes
     assert!(!runs.is_empty());
     let n = runs.len() as f64;
     let n_senders = runs[0].sender_mbps.len();
+    // Silently padding a short vector with zeros would drag the mean down
+    // and mask a structural mismatch between runs of one scenario.
+    for (i, r) in runs.iter().enumerate() {
+        assert_eq!(
+            r.sender_mbps.len(),
+            n_senders,
+            "run {i} reports {} senders, run 0 reports {n_senders}: cannot average",
+            r.sender_mbps.len(),
+        );
+    }
     let sender_mbps = (0..n_senders)
-        .map(|i| runs.iter().map(|r| r.sender_mbps.get(i).copied().unwrap_or(0.0)).sum::<f64>() / n)
+        .map(|i| runs.iter().map(|r| r.sender_mbps[i]).sum::<f64>() / n)
         .collect();
     AveragedResult {
         config,
@@ -202,6 +239,30 @@ mod tests {
         assert_eq!(avg.runs.len(), 2);
         let expect0 = (avg.runs[0].sender_mbps[0] + avg.runs[1].sender_mbps[0]) / 2.0;
         assert!((avg.sender_mbps[0] - expect0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_window_is_clamped_not_inf() {
+        let mut cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
+        cfg.warmup = cfg.duration; // zero-width window as configured
+        let before = degenerate_window_runs();
+        let r = run_scenario(&cfg, 3);
+        assert!(degenerate_window_runs() > before, "clamp must be counted");
+        assert!(r.utilization.is_finite(), "φ = {}", r.utilization);
+        assert!(r.jain.is_finite(), "J = {}", r.jain);
+        assert!(r.sender_mbps.iter().all(|m| m.is_finite()), "{:?}", r.sender_mbps);
+        // With the warmup clamped away, the whole run is the window.
+        assert!(r.utilization > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average")]
+    fn averaging_rejects_mismatched_sender_vectors() {
+        let cfg = quick_cfg(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        let a = run_scenario(&cfg, 1);
+        let mut b = a.clone();
+        b.sender_mbps.pop();
+        average_runs(cfg, vec![a, b]);
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub fn jain_index(throughputs: &[f64]) -> f64 {
     if n == 0 {
         return 1.0;
     }
+    // A NaN would flow through both sums and poison the index (and then
+    // every average built on it) silently; fail loudly at the source.
+    assert!(
+        !throughputs.iter().any(|x| x.is_nan()),
+        "NaN throughput in jain_index: {throughputs:?}"
+    );
     debug_assert!(throughputs.iter().all(|&x| x >= 0.0), "throughputs must be non-negative");
     let sum: f64 = throughputs.iter().sum();
     let sum_sq: f64 = throughputs.iter().map(|&x| x * x).sum();
@@ -122,6 +128,12 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[should_panic(expected = "NaN throughput")]
+    fn jain_rejects_nan() {
+        jain_index(&[10.0, f64::NAN]);
+    }
 
     #[test]
     fn jain_equal_shares_is_one() {

@@ -39,13 +39,18 @@ impl_json_struct!(Summary { n, mean, std, min, max });
 
 impl Summary {
     /// Summarize a sample set (empty input yields zeros).
+    ///
+    /// Panics on NaN input: `f64::min`/`max` folds silently absorb or
+    /// propagate NaN depending on argument order, so one poisoned sample
+    /// would corrupt an entire aggregated table undetected.
     pub fn of(xs: &[f64]) -> Summary {
         if xs.is_empty() {
             return Summary { n: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0 };
         }
+        assert!(!xs.iter().any(|x| x.is_nan()), "NaN sample in Summary::of: {xs:?}");
         let (m, s) = mean_std(xs);
-        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = xs.iter().copied().min_by(f64::total_cmp).unwrap();
+        let max = xs.iter().copied().max_by(f64::total_cmp).unwrap();
         Summary { n: xs.len(), mean: m, std: s, min, max }
     }
 }
@@ -78,5 +83,22 @@ mod tests {
         assert_eq!(s.max, 3.0);
         let empty = Summary::of(&[]);
         assert_eq!(empty.n, 0);
+    }
+
+    #[test]
+    fn summary_min_max_handle_signs_and_infinities() {
+        // total_cmp-based extrema: order does not depend on element order
+        // and infinities are honest extremes, not fold-identity artifacts.
+        let s = Summary::of(&[0.0, -3.5, f64::INFINITY, 2.0, f64::NEG_INFINITY]);
+        assert_eq!(s.min, f64::NEG_INFINITY);
+        assert_eq!(s.max, f64::INFINITY);
+        let t = Summary::of(&[-2.0, -7.0, -1.0]);
+        assert_eq!((t.min, t.max), (-7.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN sample")]
+    fn summary_rejects_nan() {
+        Summary::of(&[1.0, f64::NAN, 3.0]);
     }
 }

@@ -1,12 +1,29 @@
-//! The event heap.
+//! The event core: a hierarchical timer wheel with a heap overflow.
 //!
 //! A single flat `enum` keeps dispatch in the simulator hot loop free of
 //! virtual calls (a Rust-performance-book idiom). Events with equal
 //! timestamps are ordered by an insertion sequence number so that the
 //! schedule is a *total* order and every run is reproducible.
+//!
+//! # Structure
+//!
+//! Near-future events go into a three-level timer wheel (256 slots per
+//! level, ~1 µs / ~262 µs / ~67 ms per slot); events beyond the wheel
+//! horizon (~17 s from the queue's current time) wait in a `BinaryHeap`
+//! overflow. Insertion is O(1) for the wheel and pops are amortized O(1):
+//! a 256-bit occupancy bitmap per level finds the next non-empty slot, and
+//! each slot is sorted by `(time, seq)` once, when it becomes the active
+//! drain slot. The pop path compares the wheel minimum against the
+//! overflow top, so the exact `(time, seq)` total order of the old
+//! pure-heap queue is preserved bit for bit.
+//!
+//! The queue also owns the [`PacketArena`] for in-flight packets, so
+//! `Deliver` events carry a 4-byte [`PacketRef`] instead of a ~100-byte
+//! packet: wheel and heap elements stay at 32 bytes and the delivery hot
+//! path stops copying packet headers through the priority queue.
 
 use crate::link::LinkId;
-use crate::packet::{Dir, FlowId, NodeId, Packet};
+use crate::packet::{Dir, FlowId, NodeId, Packet, PacketArena, PacketRef};
 use crate::time::SimTime;
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
@@ -32,14 +49,19 @@ pub enum Event {
     /// A link finished serializing a packet; its transmitter is free.
     LinkTxDone { link: LinkId },
     /// A packet arrives at `node` (after serialization + propagation).
-    Deliver { node: NodeId, pkt: Packet },
-    /// A per-endpoint timer fires.
-    Timer { flow: FlowId, dir: Dir, kind: TimerKind },
+    /// The packet body is parked in the queue's [`PacketArena`].
+    Deliver { node: NodeId, pkt: PacketRef },
+    /// A per-endpoint timer fires. `gen` is the arming generation: the
+    /// simulator drops the event unless it matches the endpoint's current
+    /// generation for `kind`, which is how re-arming a timer cancels the
+    /// previously scheduled firing.
+    Timer { flow: FlowId, dir: Dir, kind: TimerKind, gen: u32 },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 struct Scheduled {
-    at: SimTime,
+    /// Fire time in raw nanoseconds (shift-friendly for slot indexing).
+    at: u64,
     seq: u64,
     ev: Event,
 }
@@ -61,48 +83,269 @@ impl Ord for Scheduled {
     }
 }
 
+const SLOTS: usize = 256;
+const WORDS: usize = SLOTS / 64;
+/// Level-0 slot width: 2^10 ns ≈ 1.02 µs (sub-serialization-time at 25G).
+const L0_SHIFT: u32 = 10;
+/// Level-1 slot width: 2^18 ns ≈ 262 µs.
+const L1_SHIFT: u32 = L0_SHIFT + 8;
+/// Level-2 slot width: 2^26 ns ≈ 67 ms.
+const L2_SHIFT: u32 = L1_SHIFT + 8;
+/// Events at or beyond 2^34 ns (≈17.2 s) past the current window overflow
+/// into the heap.
+const HORIZON_SHIFT: u32 = L2_SHIFT + 8;
+/// `active0` sentinel: no slot is currently the sorted drain slot.
+const NO_ACTIVE: usize = SLOTS;
+
+/// One wheel level: 256 slots plus an occupancy bitmap.
+#[derive(Debug)]
+struct Level {
+    slots: Vec<Vec<Scheduled>>,
+    bitmap: [u64; WORDS],
+    count: usize,
+}
+
+impl Level {
+    fn new() -> Self {
+        Level { slots: (0..SLOTS).map(|_| Vec::new()).collect(), bitmap: [0; WORDS], count: 0 }
+    }
+
+    #[inline]
+    fn push(&mut self, idx: usize, s: Scheduled) {
+        self.slots[idx].push(s);
+        self.bitmap[idx >> 6] |= 1 << (idx & 63);
+        self.count += 1;
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, idx: usize) {
+        self.bitmap[idx >> 6] &= !(1 << (idx & 63));
+    }
+
+    /// Index of the first non-empty slot at or after `from`, if any.
+    #[inline]
+    fn first_set(&self, from: usize) -> Option<usize> {
+        let mut w = from >> 6;
+        let mut mask = !0u64 << (from & 63);
+        while w < WORDS {
+            let bits = self.bitmap[w] & mask;
+            if bits != 0 {
+                return Some((w << 6) + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            mask = !0;
+        }
+        None
+    }
+}
+
+/// Where `prepare_min` located the next event.
+enum MinSrc {
+    Slot(usize),
+    Heap,
+}
+
 /// A deterministic priority queue of [`Event`]s.
 ///
 /// Pops events in `(time, insertion order)` order.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    l0: Level,
+    l1: Level,
+    l2: Level,
+    overflow: BinaryHeap<Reverse<Scheduled>>,
+    arena: PacketArena,
+    /// Wheel position: the time of the last popped event (or the start of
+    /// the window most recently cascaded down). Slot placement is relative
+    /// to this; it never decreases.
+    cur: u64,
+    /// The level-0 slot currently sorted and being drained.
+    active0: usize,
     next_seq: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl EventQueue {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::with_capacity(1024), next_seq: 0 }
+        EventQueue {
+            l0: Level::new(),
+            l1: Level::new(),
+            l2: Level::new(),
+            overflow: BinaryHeap::new(),
+            arena: PacketArena::new(),
+            cur: 0,
+            active0: NO_ACTIVE,
+            next_seq: 0,
+            len: 0,
+        }
     }
 
     /// Schedule `ev` to fire at `at`.
+    ///
+    /// Times before the last popped event are treated as "now": the event
+    /// fires as early as possible while keeping pops monotone.
     #[inline]
     pub fn schedule(&mut self, at: SimTime, ev: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, ev }));
+        self.insert(Scheduled { at: at.as_nanos(), seq, ev });
+    }
+
+    /// Park `pkt` in the arena and schedule its delivery at `node`.
+    #[inline]
+    pub fn schedule_deliver(&mut self, at: SimTime, node: NodeId, pkt: Packet) {
+        let pkt = self.arena.alloc(pkt);
+        self.schedule(at, Event::Deliver { node, pkt });
+    }
+
+    /// Retrieve (and release) the packet behind a popped `Deliver` event.
+    #[inline]
+    pub fn take_packet(&mut self, r: PacketRef) -> Packet {
+        self.arena.take(r)
+    }
+
+    /// Read a parked packet without releasing it.
+    pub fn packet(&self, r: PacketRef) -> &Packet {
+        self.arena.get(r)
+    }
+
+    #[inline]
+    fn insert(&mut self, s: Scheduled) {
+        self.len += 1;
+        // Slot placement clamps to the wheel position; the true fire time
+        // stays in `s.at` and decides order within the slot.
+        let t = s.at.max(self.cur);
+        if t >> L1_SHIFT == self.cur >> L1_SHIFT {
+            let idx = ((t >> L0_SHIFT) & 0xff) as usize;
+            if idx == self.active0 {
+                // The drain slot is kept sorted descending by (at, seq);
+                // insert in place so pops stay in total order.
+                let slot = &mut self.l0.slots[idx];
+                let pos = slot.partition_point(|x| (x.at, x.seq) > (s.at, s.seq));
+                slot.insert(pos, s);
+                self.l0.bitmap[idx >> 6] |= 1 << (idx & 63);
+                self.l0.count += 1;
+            } else {
+                self.l0.push(idx, s);
+            }
+        } else if t >> L2_SHIFT == self.cur >> L2_SHIFT {
+            self.l1.push(((t >> L1_SHIFT) & 0xff) as usize, s);
+        } else if t >> HORIZON_SHIFT == self.cur >> HORIZON_SHIFT {
+            self.l2.push(((t >> L2_SHIFT) & 0xff) as usize, s);
+        } else {
+            self.overflow.push(Reverse(s));
+        }
+    }
+
+    /// Locate the globally minimal `(at, seq)` event, cascading wheel
+    /// levels down as needed. Does not remove anything.
+    fn prepare_min(&mut self) -> Option<(u64, MinSrc)> {
+        loop {
+            if self.l0.count > 0 {
+                let from = ((self.cur >> L0_SHIFT) & 0xff) as usize;
+                let idx = self.l0.first_set(from).expect("l0 events precede wheel position");
+                if self.active0 != idx {
+                    self.l0.slots[idx].sort_unstable_by_key(|s| Reverse((s.at, s.seq)));
+                    self.active0 = idx;
+                }
+                let s = *self.l0.slots[idx].last().expect("occupancy bit set on empty slot");
+                if let Some(Reverse(top)) = self.overflow.peek() {
+                    if (top.at, top.seq) < (s.at, s.seq) {
+                        return Some((top.at, MinSrc::Heap));
+                    }
+                }
+                return Some((s.at, MinSrc::Slot(idx)));
+            }
+            if self.l1.count > 0 {
+                let from = ((self.cur >> L1_SHIFT) & 0xff) as usize;
+                let o = self.l1.first_set(from).expect("l1 events precede wheel position");
+                let start = (((self.cur >> L1_SHIFT) & !0xff) | o as u64) << L1_SHIFT;
+                if let Some(Reverse(top)) = self.overflow.peek() {
+                    if top.at < start {
+                        return Some((top.at, MinSrc::Heap));
+                    }
+                }
+                self.cur = self.cur.max(start);
+                self.active0 = NO_ACTIVE;
+                let mut evs = std::mem::take(&mut self.l1.slots[o]);
+                self.l1.count -= evs.len();
+                self.l1.clear_bit(o);
+                for s in evs.drain(..) {
+                    debug_assert!(s.at >= self.cur);
+                    self.l0.push(((s.at >> L0_SHIFT) & 0xff) as usize, s);
+                }
+                self.l1.slots[o] = evs; // keep the allocation
+                continue;
+            }
+            if self.l2.count > 0 {
+                let from = ((self.cur >> L2_SHIFT) & 0xff) as usize;
+                let o = self.l2.first_set(from).expect("l2 events precede wheel position");
+                let start = (((self.cur >> L2_SHIFT) & !0xff) | o as u64) << L2_SHIFT;
+                if let Some(Reverse(top)) = self.overflow.peek() {
+                    if top.at < start {
+                        return Some((top.at, MinSrc::Heap));
+                    }
+                }
+                self.cur = self.cur.max(start);
+                let mut evs = std::mem::take(&mut self.l2.slots[o]);
+                self.l2.count -= evs.len();
+                self.l2.clear_bit(o);
+                for s in evs.drain(..) {
+                    debug_assert!(s.at >= self.cur);
+                    self.l1.push(((s.at >> L1_SHIFT) & 0xff) as usize, s);
+                }
+                self.l2.slots[o] = evs;
+                continue;
+            }
+            return self.overflow.peek().map(|Reverse(top)| (top.at, MinSrc::Heap));
+        }
     }
 
     /// Pop the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(s)| (s.at, s.ev))
+        let (_, src) = self.prepare_min()?;
+        let s = match src {
+            MinSrc::Slot(idx) => {
+                let slot = &mut self.l0.slots[idx];
+                let s = slot.pop().expect("prepared slot drained");
+                self.l0.count -= 1;
+                if slot.is_empty() {
+                    self.l0.clear_bit(idx);
+                    self.active0 = NO_ACTIVE;
+                }
+                s
+            }
+            MinSrc::Heap => self.overflow.pop().expect("prepared heap drained").0,
+        };
+        self.len -= 1;
+        self.cur = self.cur.max(s.at);
+        Some((SimTime::from_nanos(s.at), s.ev))
     }
 
     /// Timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+    ///
+    /// Takes `&mut self` because locating the minimum may cascade wheel
+    /// levels down (observable order is unchanged).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.prepare_min().map(|(at, _)| SimTime::from_nanos(at))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (diagnostic).
@@ -116,7 +359,14 @@ mod tests {
     use super::*;
 
     fn timer(flow: u32) -> Event {
-        Event::Timer { flow: FlowId(flow), dir: Dir::Sender, kind: TimerKind::Rto }
+        Event::Timer { flow: FlowId(flow), dir: Dir::Sender, kind: TimerKind::Rto, gen: 0 }
+    }
+
+    fn flow_of(ev: Event) -> u32 {
+        match ev {
+            Event::Timer { flow, .. } => flow.0,
+            _ => unreachable!(),
+        }
     }
 
     #[test]
@@ -138,12 +388,7 @@ mod tests {
         for i in 0..10 {
             q.schedule(t, timer(i));
         }
-        let flows: Vec<u32> = std::iter::from_fn(|| q.pop())
-            .map(|(_, ev)| match ev {
-                Event::Timer { flow, .. } => flow.0,
-                _ => unreachable!(),
-            })
-            .collect();
+        let flows: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, ev)| flow_of(ev)).collect();
         assert_eq!(flows, (0..10).collect::<Vec<_>>());
     }
 
@@ -156,5 +401,81 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
         assert_eq!(q.len(), 1);
         assert_eq!(q.scheduled_total(), 1);
+    }
+
+    #[test]
+    fn orders_across_all_wheel_levels_and_overflow() {
+        // One event per time scale: same l0 slot, later l0 slot, l1, l2,
+        // and past the ~17 s horizon (overflow heap).
+        let times =
+            [40u64, 900, 90_000, 40_000_000, 2_000_000_000, 30_000_000_000, 500_000_000_000];
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().rev().enumerate() {
+            q.schedule(SimTime::from_nanos(t), timer(i as u32));
+        }
+        let order: Vec<u64> =
+            std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos()).collect();
+        let mut want = times.to_vec();
+        want.sort_unstable();
+        assert_eq!(order, want);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        // Mimic the simulator: after each pop, schedule new events at or
+        // after the popped time, across slot and level boundaries.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(0), timer(0));
+        let offsets = [1u64, 700, 3_000, 300_000, 70_000_000, 1_000];
+        let mut last = 0u64;
+        let mut popped = 0usize;
+        let mut scheduled = 1usize;
+        while let Some((t, _)) = q.pop() {
+            assert!(t.as_nanos() >= last, "pop went backwards: {last} then {t:?}");
+            last = t.as_nanos();
+            popped += 1;
+            if scheduled < 200 {
+                for &off in &offsets[..(popped % offsets.len()).max(1)] {
+                    q.schedule(SimTime::from_nanos(last + off), timer(scheduled as u32));
+                    scheduled += 1;
+                }
+            }
+        }
+        assert_eq!(popped, scheduled);
+    }
+
+    #[test]
+    fn same_slot_insert_during_drain_keeps_insertion_order() {
+        // Two events at time t; while draining (after the first pop), a
+        // third lands at the same time — it must pop last (highest seq).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        q.schedule(t, timer(0));
+        q.schedule(t, timer(1));
+        assert_eq!(flow_of(q.pop().unwrap().1), 0);
+        q.schedule(t, timer(2));
+        assert_eq!(flow_of(q.pop().unwrap().1), 1);
+        assert_eq!(flow_of(q.pop().unwrap().1), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn deliver_events_round_trip_through_arena() {
+        let mut q = EventQueue::new();
+        let pkt = Packet::data(FlowId(7), NodeId(0), NodeId(1), 42, 1500, SimTime::ZERO);
+        q.schedule_deliver(SimTime::from_nanos(10), NodeId(1), pkt);
+        let (t, ev) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(10));
+        let Event::Deliver { node, pkt: r } = ev else { panic!("expected Deliver") };
+        assert_eq!(node, NodeId(1));
+        let got = q.take_packet(r);
+        assert_eq!(got.seq, 42);
+        assert_eq!(got.flow, FlowId(7));
+    }
+
+    #[test]
+    fn scheduled_elements_stay_compact() {
+        // The whole point of the arena: wheel/heap elements are 32 bytes.
+        assert!(std::mem::size_of::<Scheduled>() <= 32);
     }
 }

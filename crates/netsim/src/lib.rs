@@ -53,10 +53,10 @@ pub mod units;
 pub use event::{Event, EventQueue, TimerKind};
 pub use fault::LossModel;
 pub use link::{Link, LinkId, LinkSpec, LinkStats};
-pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketKind, SACK_MAX};
+pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketArena, PacketKind, PacketRef, SACK_MAX};
 pub use queue::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
 pub use rng::{Rng, RngExt, SeedableRng, SmallRng};
-pub use sim::{Ctx, EndpointReport, FlowEndpoint, RunSummary, SimConfig, Simulator};
+pub use sim::{Ctx, EndpointReport, FlowEndpoint, RunSummary, SimConfig, Simulator, TimerToken};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DumbbellSpec, Topology};
 pub use units::{bdp_bytes, Bandwidth};

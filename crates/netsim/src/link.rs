@@ -42,6 +42,8 @@ pub struct LinkStats {
     pub bytes_tx: u64,
     /// Packets destroyed by fault injection after transmission.
     pub fault_losses: u64,
+    /// Largest egress-queue depth observed, in packets.
+    pub peak_qlen_pkts: u64,
 }
 
 /// A unidirectional link with an egress queue discipline.
@@ -96,6 +98,10 @@ impl Link {
         match self.aqm.enqueue(pkt, now, rng) {
             crate::queue::Verdict::Dropped => {}
             _ => {
+                let depth = self.aqm.backlog_pkts() as u64;
+                if depth > self.stats.peak_qlen_pkts {
+                    self.stats.peak_qlen_pkts = depth;
+                }
                 if !self.busy {
                     self.start_tx(now, events, rng);
                 }
@@ -122,7 +128,7 @@ impl Link {
         if lost {
             self.stats.fault_losses += 1;
         } else {
-            events.schedule(now + ser + self.prop, Event::Deliver { node: self.dst, pkt });
+            events.schedule_deliver(now + ser + self.prop, self.dst, pkt);
         }
     }
 
@@ -190,7 +196,7 @@ mod tests {
         match e2 {
             Event::Deliver { node, pkt } => {
                 assert_eq!(node, NodeId(1));
-                assert_eq!(pkt.seq, 0);
+                assert_eq!(ev.take_packet(pkt).seq, 0);
             }
             _ => panic!("expected Deliver"),
         }

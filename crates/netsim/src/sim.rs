@@ -64,6 +64,80 @@ pub trait FlowEndpoint: Send {
     fn as_any(&self) -> &dyn Any;
 }
 
+/// Handle for one armed instance of a per-endpoint timer.
+///
+/// Returned by [`Ctx::set_timer`]. Arming a timer kind again (or calling
+/// [`Ctx::cancel_timer`]) invalidates every earlier token of that kind:
+/// the superseded firing is silently dropped by the simulator. Endpoints
+/// therefore *re-arm* timers instead of tracking stale deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerToken {
+    kind: TimerKind,
+    gen: u32,
+}
+
+impl TimerToken {
+    /// The timer kind this token arms.
+    pub fn kind(&self) -> TimerKind {
+        self.kind
+    }
+}
+
+/// Arming generations for one endpoint's timers: one counter per kind.
+/// A scheduled `Timer` event fires only if its generation still matches,
+/// which gives O(1) cancellation with lazy deletion in the event queue.
+#[derive(Debug, Default)]
+struct TimerGens {
+    /// Start, Rto, Pace, DelAck.
+    named: [u32; 4],
+    /// `TimerKind::Custom` tags, grown on first use (tests/extensions).
+    custom: Vec<(u8, u32)>,
+}
+
+impl TimerGens {
+    fn named_idx(kind: TimerKind) -> Option<usize> {
+        match kind {
+            TimerKind::Start => Some(0),
+            TimerKind::Rto => Some(1),
+            TimerKind::Pace => Some(2),
+            TimerKind::DelAck => Some(3),
+            TimerKind::Custom(_) => None,
+        }
+    }
+
+    fn current(&self, kind: TimerKind) -> u32 {
+        match Self::named_idx(kind) {
+            Some(i) => self.named[i],
+            None => {
+                let TimerKind::Custom(tag) = kind else { unreachable!() };
+                self.custom.iter().find(|(t, _)| *t == tag).map_or(0, |(_, g)| *g)
+            }
+        }
+    }
+
+    fn bump(&mut self, kind: TimerKind) -> u32 {
+        match Self::named_idx(kind) {
+            Some(i) => {
+                self.named[i] += 1;
+                self.named[i]
+            }
+            None => {
+                let TimerKind::Custom(tag) = kind else { unreachable!() };
+                match self.custom.iter_mut().find(|(t, _)| *t == tag) {
+                    Some((_, g)) => {
+                        *g += 1;
+                        *g
+                    }
+                    None => {
+                        self.custom.push((tag, 1));
+                        1
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Per-event context handed to endpoints.
 pub struct Ctx<'a> {
     /// Current simulated time.
@@ -79,7 +153,8 @@ pub struct Ctx<'a> {
     /// Deterministic per-run RNG.
     pub rng: &'a mut SmallRng,
     emitted: &'a mut Vec<Packet>,
-    timers: &'a mut Vec<(TimerKind, SimTime)>,
+    timers: &'a mut Vec<(TimerKind, SimTime, u32)>,
+    gens: &'a mut TimerGens,
 }
 
 impl Ctx<'_> {
@@ -91,12 +166,22 @@ impl Ctx<'_> {
 
     /// Arrange for [`FlowEndpoint::on_timer`] to be called at `at`.
     ///
-    /// Timers are not cancellable; endpoints must ignore stale firings
-    /// (compare against their stored deadline).
+    /// At most one instance per kind is armed: setting a kind again moves
+    /// the firing (the previously scheduled instance is cancelled), so
+    /// endpoints re-arm freely instead of filtering stale firings. Times in
+    /// the past are clamped to `now` — the timer fires as soon as possible.
     #[inline]
-    pub fn set_timer(&mut self, kind: TimerKind, at: SimTime) {
-        debug_assert!(at >= self.now, "timer set in the past");
-        self.timers.push((kind, at));
+    pub fn set_timer(&mut self, kind: TimerKind, at: SimTime) -> TimerToken {
+        let at = at.max(self.now);
+        let gen = self.gens.bump(kind);
+        self.timers.push((kind, at, gen));
+        TimerToken { kind, gen }
+    }
+
+    /// Cancel the armed instance of `kind`, if any. Idempotent.
+    #[inline]
+    pub fn cancel_timer(&mut self, kind: TimerKind) {
+        self.gens.bump(kind);
     }
 }
 
@@ -105,6 +190,8 @@ struct FlowSlot {
     receiver_node: NodeId,
     sender: Box<dyn FlowEndpoint>,
     receiver: Box<dyn FlowEndpoint>,
+    sender_gens: TimerGens,
+    receiver_gens: TimerGens,
     start: SimTime,
 }
 
@@ -163,6 +250,8 @@ pub struct BottleneckReport {
     pub aqm: AqmStats,
     /// Packets destroyed by fault injection.
     pub fault_losses: u64,
+    /// Largest bottleneck-queue depth observed, in packets.
+    pub peak_qlen_pkts: u64,
 }
 
 /// Everything measured in one simulation run.
@@ -196,13 +285,21 @@ pub struct Simulator {
     processed: u64,
     mark_bytes_bottleneck: u64,
     scratch_pkts: Vec<Packet>,
-    scratch_timers: Vec<(TimerKind, SimTime)>,
+    scratch_timers: Vec<(TimerKind, SimTime, u32)>,
 }
 
 impl Simulator {
     /// Create a simulator over `topo` with deterministic seed `seed`.
     pub fn new(topo: Topology, cfg: SimConfig, seed: u64) -> Self {
         assert!(cfg.warmup <= cfg.duration, "warmup longer than run");
+        // A zero-width measurement window (warmup == duration on a nonzero
+        // run) would make every windowed rate a division by zero downstream.
+        assert!(
+            cfg.duration.is_zero() || cfg.warmup < cfg.duration,
+            "zero-width measurement window: warmup ({:?}) must be shorter than duration ({:?})",
+            cfg.warmup,
+            cfg.duration,
+        );
         Simulator {
             topo,
             flows: Vec::new(),
@@ -246,7 +343,15 @@ impl Simulator {
         start: SimTime,
     ) -> FlowId {
         let id = FlowId(self.flows.len() as u32);
-        self.flows.push(FlowSlot { sender_node, receiver_node, sender, receiver, start });
+        self.flows.push(FlowSlot {
+            sender_node,
+            receiver_node,
+            sender,
+            receiver,
+            sender_gens: TimerGens::default(),
+            receiver_gens: TimerGens::default(),
+            start,
+        });
         id
     }
 
@@ -273,7 +378,12 @@ impl Simulator {
         for (i, slot) in self.flows.iter().enumerate() {
             self.events.schedule(
                 slot.start,
-                Event::Timer { flow: FlowId(i as u32), dir: Dir::Sender, kind: TimerKind::Start },
+                Event::Timer {
+                    flow: FlowId(i as u32),
+                    dir: Dir::Sender,
+                    kind: TimerKind::Start,
+                    gen: slot.sender_gens.current(TimerKind::Start),
+                },
             );
         }
     }
@@ -305,8 +415,21 @@ impl Simulator {
                     let now = self.now;
                     self.topo.link_mut(link).on_tx_done(now, &mut self.events, &mut self.rng);
                 }
-                Event::Deliver { node, pkt } => self.deliver(node, pkt),
-                Event::Timer { flow, dir, kind } => {
+                Event::Deliver { node, pkt } => {
+                    let pkt = self.events.take_packet(pkt);
+                    self.deliver(node, pkt);
+                }
+                Event::Timer { flow, dir, kind, gen } => {
+                    // Lazy cancellation: a firing from a superseded arming
+                    // (re-armed or cancelled since) is dropped unseen.
+                    let slot = &self.flows[flow.0 as usize];
+                    let current = match dir {
+                        Dir::Sender => slot.sender_gens.current(kind),
+                        Dir::Receiver => slot.receiver_gens.current(kind),
+                    };
+                    if gen != current {
+                        continue;
+                    }
                     self.dispatch(flow, dir, |ep, ctx| match kind {
                         TimerKind::Start => ep.on_start(ctx),
                         k => ep.on_timer(k, ctx),
@@ -366,9 +489,13 @@ impl Simulator {
         let (local, _peer);
         {
             let slot = &mut self.flows[flow.0 as usize];
-            let (ep, l, p) = match dir {
-                Dir::Sender => (slot.sender.as_mut(), slot.sender_node, slot.receiver_node),
-                Dir::Receiver => (slot.receiver.as_mut(), slot.receiver_node, slot.sender_node),
+            let (ep, gens, l, p) = match dir {
+                Dir::Sender => {
+                    (slot.sender.as_mut(), &mut slot.sender_gens, slot.sender_node, slot.receiver_node)
+                }
+                Dir::Receiver => {
+                    (slot.receiver.as_mut(), &mut slot.receiver_gens, slot.receiver_node, slot.sender_node)
+                }
             };
             local = l;
             _peer = p;
@@ -381,11 +508,12 @@ impl Simulator {
                 rng: &mut self.rng,
                 emitted: &mut emitted,
                 timers: &mut timers,
+                gens,
             };
             f(ep, &mut ctx);
         }
-        for (kind, at) in timers.drain(..) {
-            self.events.schedule(at, Event::Timer { flow, dir, kind });
+        for (kind, at, gen) in timers.drain(..) {
+            self.events.schedule(at, Event::Timer { flow, dir, kind, gen });
         }
         for pkt in emitted.drain(..) {
             let Some(link) = self.topo.route(local, pkt.dst) else {
@@ -419,6 +547,7 @@ impl Simulator {
                     bytes_tx_window: link.stats().bytes_tx - self.mark_bytes_bottleneck,
                     aqm: link.aqm_stats(),
                     fault_losses: link.stats().fault_losses,
+                    peak_qlen_pkts: link.stats().peak_qlen_pkts,
                 }
             }
             None => BottleneckReport::default(),
@@ -582,6 +711,62 @@ mod tests {
             (s.events_processed, s.bottleneck.bytes_tx_total)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Exercises the timer API edge cases: past deadlines, re-arming,
+    /// cancellation.
+    struct TimerProbe {
+        fires: Vec<(u8, SimTime)>,
+    }
+
+    impl FlowEndpoint for TimerProbe {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            // A deadline in the past is clamped to `now` (fires asap) in
+            // all builds, rather than corrupting the event order.
+            ctx.set_timer(TimerKind::Custom(0), SimTime::ZERO);
+            // Re-arming the same kind supersedes the earlier instance.
+            ctx.set_timer(TimerKind::Custom(1), ctx.now + SimDuration::from_millis(10));
+            ctx.set_timer(TimerKind::Custom(1), ctx.now + SimDuration::from_millis(20));
+            // A cancelled instance never fires.
+            ctx.set_timer(TimerKind::Custom(2), ctx.now + SimDuration::from_millis(15));
+            ctx.cancel_timer(TimerKind::Custom(2));
+        }
+        fn on_packet(&mut self, _pkt: &Packet, _ctx: &mut Ctx) {}
+        fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
+            let TimerKind::Custom(tag) = kind else { panic!("unexpected {kind:?}") };
+            self.fires.push((tag, ctx.now));
+        }
+        fn report(&self) -> EndpointReport {
+            EndpointReport::default()
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn timer_clamp_rearm_and_cancel() {
+        let mut sim = build_sim();
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let start = SimTime::ZERO + SimDuration::from_millis(5);
+        let flow = sim.add_flow(
+            spec.sender(0),
+            spec.receiver(0),
+            Box::new(TimerProbe { fires: Vec::new() }),
+            Box::new(CountingReceiver { peer: spec.sender(0), next: 0, report: Default::default() }),
+            start,
+        );
+        sim.run();
+        let probe = sim.sender(flow).as_any().downcast_ref::<TimerProbe>().unwrap();
+        assert_eq!(
+            probe.fires,
+            vec![
+                // Past deadline fired immediately at the flow's start time.
+                (0, start),
+                // Only the re-armed instance fired; the cancelled one never did.
+                (1, start + SimDuration::from_millis(20)),
+            ]
+        );
     }
 
     #[test]

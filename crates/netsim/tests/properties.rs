@@ -14,7 +14,12 @@ fn event_queue_total_order() {
         for (i, &t) in times.iter().enumerate() {
             q.schedule(
                 SimTime::from_nanos(t),
-                Event::Timer { flow: FlowId(i as u32), dir: Dir::Sender, kind: TimerKind::Rto },
+                Event::Timer {
+                    flow: FlowId(i as u32),
+                    dir: Dir::Sender,
+                    kind: TimerKind::Rto,
+                    gen: 0,
+                },
             );
         }
         let mut last: Option<(u64, u32)> = None;
@@ -33,6 +38,53 @@ fn event_queue_total_order() {
             last = Some((at.as_nanos(), flow.0));
         }
         prop_check_eq!(popped, times.len());
+        Ok(())
+    });
+}
+
+/// The timer wheel agrees with a sorted reference model under interleaved
+/// schedule/pop traffic spanning every wheel level and the overflow heap.
+#[test]
+fn event_queue_matches_reference_model() {
+    run_cases("event_queue_matches_reference_model", DEFAULT_CASES, |rng| {
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u32)> = Vec::new();
+        let mut popped: Vec<(u64, u32)> = Vec::new();
+        let mut id = 0u32;
+        let mut now = 0u64;
+        for _ in 0..rng.random_range(1usize..40) {
+            // A burst of schedules at or after the last popped time, with
+            // offsets from sub-µs up to beyond the ~17 s wheel horizon.
+            for _ in 0..rng.random_range(1usize..8) {
+                let exp = rng.random_range(0u32..36);
+                let t = now + rng.random_range(0u64..(1u64 << exp));
+                q.schedule(
+                    SimTime::from_nanos(t),
+                    Event::Timer {
+                        flow: FlowId(id),
+                        dir: Dir::Sender,
+                        kind: TimerKind::Rto,
+                        gen: 0,
+                    },
+                );
+                reference.push((t, id));
+                id += 1;
+            }
+            for _ in 0..rng.random_range(0usize..6) {
+                let Some((at, ev)) = q.pop() else { break };
+                let Event::Timer { flow, .. } = ev else { unreachable!() };
+                now = at.as_nanos();
+                popped.push((now, flow.0));
+            }
+        }
+        while let Some((at, ev)) = q.pop() {
+            let Event::Timer { flow, .. } = ev else { unreachable!() };
+            popped.push((at.as_nanos(), flow.0));
+        }
+        // Ids increase in insertion order, so sorting by (time, id) is
+        // exactly the (time, seq) total order the queue must produce.
+        reference.sort_unstable();
+        prop_check_eq!(popped, reference);
         Ok(())
     });
 }

@@ -166,7 +166,11 @@ impl TcpReceiver {
         let ack = self.build_ack(ctx);
         ctx.send(ack);
         self.unacked_count = 0;
-        self.delack_deadline = None;
+        // An immediate ACK covers the pending delayed one: disarm it so the
+        // simulator never dispatches the superseded firing.
+        if self.delack_deadline.take().is_some() {
+            ctx.cancel_timer(TimerKind::DelAck);
+        }
     }
 }
 
@@ -219,11 +223,13 @@ impl FlowEndpoint for TcpReceiver {
     }
 
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
-        if kind == TimerKind::DelAck
-            && self.delack_deadline == Some(ctx.now)
-            && self.unacked_count > 0
-        {
-            self.send_ack(ctx);
+        // Superseded firings are cancelled at the source, so a DelAck
+        // arriving here is always the live one.
+        if kind == TimerKind::DelAck {
+            self.delack_deadline = None;
+            if self.unacked_count > 0 {
+                self.send_ack(ctx);
+            }
         }
     }
 
@@ -257,38 +263,36 @@ mod tests {
 
     struct ScriptedSender {
         peer: NodeId,
-        script: Vec<(u64, u64)>, // (delay_ms from start, seq)
+        script: Vec<(u64, u64)>, // (delay_ms from start, seq), chronological
+        next: usize,
         acks_seen: Vec<AckInfo>,
+    }
+
+    impl ScriptedSender {
+        /// Arm one chained timer for the next scripted transmission (only
+        /// one instance of a timer kind can be armed at a time).
+        fn arm_next(&self, ctx: &mut Ctx) {
+            if let Some(&(ms, _)) = self.script.get(self.next) {
+                ctx.set_timer(TimerKind::Custom(0), SimTime::ZERO + SimDuration::from_millis(ms));
+            }
+        }
     }
 
     impl FlowEndpoint for ScriptedSender {
         fn on_start(&mut self, ctx: &mut Ctx) {
-            for &(ms, seq) in &self.script {
-                // Schedule each transmission via Pace timers.
-                let _ = seq;
-                ctx.set_timer(
-                    TimerKind::Custom((seq & 0x7f) as u8),
-                    ctx.now + SimDuration::from_millis(ms),
-                );
-            }
+            self.arm_next(ctx);
         }
         fn on_packet(&mut self, pkt: &Packet, _ctx: &mut Ctx) {
             if let PacketKind::Ack(info) = pkt.kind {
                 self.acks_seen.push(info);
             }
         }
-        fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
-            if let TimerKind::Custom(tag) = kind {
-                // Send the scripted packet whose low seq bits match the tag.
-                if let Some(pos) =
-                    self.script.iter().position(|&(_, seq)| (seq & 0x7f) as u8 == tag)
-                {
-                    let (_, seq) = self.script.remove(pos);
-                    let pkt =
-                        Packet::data(ctx.flow, ctx.local, self.peer, seq, 1000, ctx.now);
-                    ctx.send(pkt);
-                }
-            }
+        fn on_timer(&mut self, _kind: TimerKind, ctx: &mut Ctx) {
+            let (_, seq) = self.script[self.next];
+            self.next += 1;
+            let pkt = Packet::data(ctx.flow, ctx.local, self.peer, seq, 1000, ctx.now);
+            ctx.send(pkt);
+            self.arm_next(ctx);
         }
         fn report(&self) -> EndpointReport {
             EndpointReport::default()
@@ -315,7 +319,7 @@ mod tests {
         let flow = sim.add_flow(
             s,
             r,
-            Box::new(ScriptedSender { peer: r, script, acks_seen: vec![] }),
+            Box::new(ScriptedSender { peer: r, script, next: 0, acks_seen: vec![] }),
             Box::new(TcpReceiver::new(cfg, s)),
             SimTime::ZERO,
         );

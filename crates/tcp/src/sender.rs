@@ -247,7 +247,9 @@ impl TcpSender {
         let anchor = self.board.first_inflight_tx_time().unwrap_or(ctx.now);
         let deadline = self.rtt.rto_deadline(anchor).max(ctx.now);
         self.rto_deadline = Some(deadline);
-        // Lazy re-arm: only schedule if no earlier timer is pending.
+        // Lazy re-arm: leave an already-pending earlier firing in place (it
+        // re-checks the live deadline when it fires) instead of re-arming on
+        // every ACK, which would churn the event queue.
         match self.rto_timer_scheduled_at {
             Some(at) if at <= deadline && at > ctx.now => {}
             _ => {
@@ -449,9 +451,9 @@ impl FlowEndpoint for TcpSender {
     fn on_timer(&mut self, kind: TimerKind, ctx: &mut Ctx) {
         match kind {
             TimerKind::Pace => {
-                if self.pace_timer_at == Some(ctx.now) {
-                    self.pace_timer_at = None;
-                }
+                // Re-arming cancels superseded instances, so any firing
+                // that reaches us is the live one.
+                self.pace_timer_at = None;
                 self.try_send(ctx);
             }
             TimerKind::Rto => self.handle_rto_fired(ctx),

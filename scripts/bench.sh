@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark-regression pipeline.
+#
+# Runs the engine benchmark on the paper's 25 Gbps FIFO quick scenario and
+# folds the measurement into BENCH_netsim.json at the workspace root
+# (events/sec, ns/event, peak bottleneck-queue depth). Entries are keyed by
+# BENCH_LABEL (default "current"); re-running with the same label replaces
+# that entry, so the file is an append-only perf trajectory across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # measure and record under "current"
+#   BENCH_LABEL=pr3 scripts/bench.sh # record under a milestone label
+#   scripts/bench.sh --all           # also run the non-regression benches
+#
+# A PR regresses the engine if its events_per_sec entry drops more than 10%
+# below the best previously committed entry (see EXPERIMENTS.md).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILTER="engine/25gbps_fifo_quick"
+if [[ "${1:-}" == "--all" ]]; then
+    FILTER=""
+fi
+
+cargo bench --offline -p elephants-bench --bench engine -- ${FILTER}
+
+echo
+echo "=== BENCH_netsim.json ==="
+cat BENCH_netsim.json

@@ -4,9 +4,28 @@
 # The workspace is hermetic — every dependency is an in-repo path crate —
 # so `--offline` is not a restriction but an enforcement: any reintroduced
 # registry dependency fails resolution here before it fails review.
+#
+# Modes:
+#   scripts/ci.sh                build + lint + test (the default gate)
+#   scripts/ci.sh --bench-smoke  also run every bench in one-shot `--test`
+#                                mode (one iteration, no timing) to catch
+#                                bench-code rot without measurement cost
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+bench_smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) bench_smoke=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
 cargo build --release --offline
+cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo test -q --offline
+
+if [[ "$bench_smoke" -eq 1 ]]; then
+  cargo bench --offline -p elephants-bench -- --test
+fi

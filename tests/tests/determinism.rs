@@ -9,7 +9,10 @@
 //! formatting, or object field ordering shows up as a byte diff here.
 
 use elephants::cca::CcaKind;
-use elephants::experiments::{run_scenario_traced, RunOptions, ScenarioConfig};
+use elephants::experiments::{
+    par_map_with_workers, run_scenario, run_scenario_traced, RunOptions, ScenarioConfig,
+};
+use elephants::json::ToJson;
 use elephants::{AqmKind, SimDuration};
 
 fn dumbbell_cfg(seed: u64) -> ScenarioConfig {
@@ -36,4 +39,39 @@ fn different_seeds_produce_different_json() {
     let a = trace_json(42);
     let b = trace_json(43);
     assert_ne!(a, b, "different seeds must produce observably different runs");
+}
+
+/// The parallel sweep must be a pure function of the work list: scheduling
+/// runs across 1, 2, or the default number of worker threads may change
+/// *when* each simulation executes but never *what* it produces, down to
+/// the serialized bytes of every run result.
+#[test]
+fn sweep_json_is_identical_across_worker_counts() {
+    let opts = RunOptions::quick();
+    let grid = [
+        ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+        ScenarioConfig::new(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000, &opts),
+        ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+    ];
+    // Two seeds per config, flattened like `sweep()` does internally.
+    let work: Vec<(usize, u64)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(i, cfg)| [(i, cfg.seed), (i, cfg.seed + 1)])
+        .collect();
+
+    let sweep_json = |workers: usize| -> String {
+        par_map_with_workers(&work, workers, |&(i, seed)| run_scenario(&grid[i], seed))
+            .to_json_string()
+    };
+
+    let serial = sweep_json(1);
+    assert!(!serial.is_empty());
+    for workers in [2, 0] {
+        let parallel = sweep_json(workers);
+        assert_eq!(
+            serial, parallel,
+            "sweep results must be byte-identical regardless of worker count ({workers})"
+        );
+    }
 }
