@@ -80,7 +80,7 @@ pub fn default_report_path() -> PathBuf {
 /// Build the trajectory entry for the regression scenario from the measured
 /// median and one counting run (events processed + peak queue depth).
 pub fn measure_entry(label: String, median_ns: f64) -> BenchEntry {
-    let probe = run_scenario(&regression_scenario(), 1);
+    let probe = run_scenario(&regression_scenario(), 1).expect("regression scenario must run");
     BenchEntry {
         label,
         events_per_sec: probe.events as f64 / (median_ns / 1e9),

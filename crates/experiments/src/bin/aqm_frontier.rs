@@ -16,7 +16,8 @@ fn main() {
     for &bw in &cli.bws {
         for aqm in aqms {
             let cfg = ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, aqm, 2.0, bw, &cli.opts);
-            let r = run_scenario(&cfg, cli.opts.seed);
+            let r = run_scenario(&cfg, cli.opts.seed)
+                .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
             t.row(vec![
                 bw_label(bw),
                 aqm.name().to_string(),

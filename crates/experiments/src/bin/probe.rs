@@ -47,7 +47,8 @@ fn main() {
     cfg.duration = SimDuration::from_secs(secs);
     cfg.warmup = cfg.duration.mul_f64(0.25);
 
-    let r = run_scenario(&cfg, seed);
+    let r = run_scenario(&cfg, seed)
+        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
     println!("{}", cfg.label());
     println!("  flows        : {}", r.flows);
     println!("  sender1      : {:.2} Mbps ({})", r.sender_mbps[0], cca1.pretty());

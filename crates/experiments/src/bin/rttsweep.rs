@@ -26,7 +26,8 @@ fn main() {
         // of round trips.
         cfg.duration = SimDuration::from_millis((rtt_ms * 800).max(20_000));
         cfg.warmup = cfg.duration.mul_f64(0.25);
-        let r = run_scenario(&cfg, cli.opts.seed);
+        let r = run_scenario(&cfg, cli.opts.seed)
+            .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
         t.row(vec![
             format!("{rtt_ms}"),
             format!("{:.1}", r.sender_mbps[0]),

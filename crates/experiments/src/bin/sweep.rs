@@ -1,4 +1,10 @@
 //! Runs the full 810-configuration grid (Table 1) and writes a summary CSV.
+//!
+//! Uses the fault-tolerant sweep: a failing cell (panic, event budget,
+//! wall-clock) is recorded and reported instead of aborting the other
+//! cells, and the exit status stays 0 so long CI grids degrade gracefully.
+//! Optional `--loss` / `--flap` knobs inject bottleneck anomalies into
+//! every cell.
 
 use elephants_experiments::prelude::*;
 
@@ -6,8 +12,17 @@ fn main() {
     let cli = Cli::parse();
     let mut grid = paper_grid(&cli.opts);
     grid.retain(|c| cli.bws.contains(&c.bw_bps));
+    if let Some(n) = cli.limit {
+        grid.truncate(n);
+    }
+    for cfg in &mut grid {
+        if let Err(e) = cli.apply_faults(cfg) {
+            eprintln!("invalid fault configuration: {e}");
+            std::process::exit(2);
+        }
+    }
     eprintln!("sweeping {} configurations x {} repeats", grid.len(), cli.opts.repeats);
-    let results = sweep_with_progress(&grid, cli.opts.repeats, &cli.cache, |done, total| {
+    let out = try_sweep_with_progress(&grid, cli.opts.repeats, &cli.cache, |done, total| {
         if done % 25 == 0 || done == total {
             eprintln!("  {done}/{total}");
         }
@@ -15,7 +30,7 @@ fn main() {
     let mut t = TextTable::new(vec![
         "cca1", "cca2", "aqm", "queue_bdp", "bw", "s1_mbps", "s2_mbps", "jain", "phi", "retx", "rtos",
     ]);
-    for r in &results {
+    for r in &out.results {
         t.row(vec![
             r.config.cca1.to_string(),
             r.config.cca2.to_string(),
@@ -33,5 +48,9 @@ fn main() {
     println!("{}", t.render());
     if let Err(e) = t.write_csv(format!("{}/sweep/grid.csv", cli.out_dir)) {
         eprintln!("warning: failed to write CSV: {e}");
+    }
+    eprintln!("{}", out.summary_line());
+    for f in &out.failed {
+        eprintln!("  failed: ({}, seed {}): {}", f.config.label(), f.seed, f.error);
     }
 }

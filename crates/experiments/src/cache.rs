@@ -4,11 +4,46 @@
 //! results are cached as JSON under `results/cache/`. Re-running a figure
 //! binary reuses every run it shares with previous figures (the whole study
 //! is one 810-cell grid viewed from different angles).
+//!
+//! Robustness properties:
+//!
+//! * Every filename carries [`CACHE_SCHEMA_VERSION`]; bumping it when
+//!   `RunResult`'s JSON shape changes orphans stale entries instead of
+//!   letting them parse into garbage.
+//! * An entry that exists but does not parse is **quarantined** (renamed to
+//!   `*.quarantine`, counted, warned about) rather than silently
+//!   recomputed — corruption is a signal worth surfacing, and the rename
+//!   stops the next run from tripping over the same bytes.
+//! * Write failures are counted in [`cache_put_errors`] (and surfaced in
+//!   sweep summaries) instead of being swallowed: a full disk should not
+//!   masquerade as a cold cache.
 
-use crate::runner::{run_scenario, RunResult};
+use crate::runner::{run_scenario_with_wall_limit, RunError, RunResult};
 use crate::scenario::ScenarioConfig;
 use elephants_json::{FromJson, ToJson};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Version stamp embedded in every cache filename. Bump when the
+/// `RunResult` JSON schema (or the meaning of any field) changes.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
+
+/// Cache writes that failed (IO errors on create/write).
+static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Cache entries quarantined because they existed but failed to parse.
+static CACHE_QUARANTINED: AtomicU64 = AtomicU64::new(0);
+
+/// Number of cache writes that failed so far in this process.
+pub fn cache_put_errors() -> u64 {
+    CACHE_PUT_ERRORS.load(Ordering::Relaxed)
+}
+
+/// Number of unparsable cache entries quarantined so far in this process.
+pub fn cache_quarantined() -> u64 {
+    CACHE_QUARANTINED.load(Ordering::Relaxed)
+}
 
 /// A JSON file-per-run cache.
 #[derive(Debug, Clone)]
@@ -34,37 +69,72 @@ impl RunCache {
     }
 
     fn path_for(&self, cfg: &ScenarioConfig, seed: u64) -> PathBuf {
-        self.dir.join(format!("{}.json", cfg.cache_key(seed)))
+        self.dir.join(format!("{}-v{}.json", cfg.cache_key(seed), CACHE_SCHEMA_VERSION))
     }
 
-    /// Fetch a cached result if present and parseable.
+    /// Fetch a cached result if present and parseable. Unparsable entries
+    /// are quarantined (renamed, counted, warned about), not silently
+    /// recomputed over.
     pub fn get(&self, cfg: &ScenarioConfig, seed: u64) -> Option<RunResult> {
         if !self.enabled {
             return None;
         }
-        let text = std::fs::read_to_string(self.path_for(cfg, seed)).ok()?;
-        RunResult::from_json_str(&text).ok()
+        let path = self.path_for(cfg, seed);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match RunResult::from_json_str(&text) {
+            Ok(result) => Some(result),
+            Err(e) => {
+                let quarantine = path.with_extension("quarantine");
+                let moved = std::fs::rename(&path, &quarantine).is_ok();
+                CACHE_QUARANTINED.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "warning: quarantined unparsable cache entry {} ({}){}",
+                    path.display(),
+                    e,
+                    if moved { "" } else { " [rename failed]" },
+                );
+                None
+            }
+        }
     }
 
-    /// Store a result (best-effort; IO errors are swallowed).
+    /// Store a result. IO errors are counted in [`cache_put_errors`] so
+    /// sweeps can surface them; the run itself still succeeds.
     pub fn put(&self, cfg: &ScenarioConfig, seed: u64, result: &RunResult) {
         if !self.enabled {
             return;
         }
-        if std::fs::create_dir_all(&self.dir).is_err() {
-            return;
+        let write = std::fs::create_dir_all(&self.dir)
+            .and_then(|_| std::fs::write(self.path_for(cfg, seed), result.to_json_pretty()));
+        if write.is_err() {
+            CACHE_PUT_ERRORS.fetch_add(1, Ordering::Relaxed);
         }
-        let _ = std::fs::write(self.path_for(cfg, seed), result.to_json_pretty());
+    }
+
+    /// Run (or fetch) one seed of a scenario, reporting failures instead
+    /// of aborting. Only successful runs are cached.
+    pub fn run_checked(
+        &self,
+        cfg: &ScenarioConfig,
+        seed: u64,
+        wall_limit: Duration,
+    ) -> Result<RunResult, RunError> {
+        if let Some(hit) = self.get(cfg, seed) {
+            return Ok(hit);
+        }
+        let result = run_scenario_with_wall_limit(cfg, seed, wall_limit)?;
+        self.put(cfg, seed, &result);
+        Ok(result)
     }
 
     /// Run (or fetch) one seed of a scenario.
+    ///
+    /// # Panics
+    /// Panics if the run fails; use [`RunCache::run_checked`] (or the
+    /// fault-tolerant sweep) for graceful degradation.
     pub fn run(&self, cfg: &ScenarioConfig, seed: u64) -> RunResult {
-        if let Some(hit) = self.get(cfg, seed) {
-            return hit;
-        }
-        let result = run_scenario(cfg, seed);
-        self.put(cfg, seed, &result);
-        result
+        self.run_checked(cfg, seed, crate::runner::DEFAULT_WALL_LIMIT)
+            .unwrap_or_else(|e| panic!("run failed ({}, seed {seed}): {e}", cfg.label()))
     }
 }
 
@@ -75,18 +145,22 @@ mod tests {
     use elephants_aqm::AqmKind;
     use elephants_cca::CcaKind;
 
-    #[test]
-    fn cache_round_trip() {
-        let tmp = std::env::temp_dir().join(format!("elephants-cache-test-{}", std::process::id()));
-        let cache = RunCache::new(&tmp);
-        let cfg = ScenarioConfig::new(
+    fn quick_cfg() -> ScenarioConfig {
+        ScenarioConfig::new(
             CcaKind::Cubic,
             CcaKind::Cubic,
             AqmKind::Fifo,
             1.0,
             100_000_000,
             &RunOptions::quick(),
-        );
+        )
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let tmp = std::env::temp_dir().join(format!("elephants-cache-test-{}", std::process::id()));
+        let cache = RunCache::new(&tmp);
+        let cfg = quick_cfg();
         assert!(cache.get(&cfg, 1).is_none());
         let fresh = cache.run(&cfg, 1);
         let cached = cache.get(&cfg, 1).expect("must be cached now");
@@ -98,14 +172,48 @@ mod tests {
     #[test]
     fn disabled_cache_never_stores() {
         let cache = RunCache::disabled();
-        let cfg = ScenarioConfig::new(
-            CcaKind::Cubic,
-            CcaKind::Cubic,
-            AqmKind::Fifo,
-            1.0,
-            100_000_000,
-            &RunOptions::quick(),
-        );
+        let cfg = quick_cfg();
         assert!(cache.get(&cfg, 1).is_none());
+    }
+
+    #[test]
+    fn filenames_carry_schema_version() {
+        let cache = RunCache::new("x");
+        let path = cache.path_for(&quick_cfg(), 1);
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.ends_with(&format!("-v{CACHE_SCHEMA_VERSION}.json")),
+            "cache filename {name} must end with the schema version"
+        );
+    }
+
+    #[test]
+    fn unparsable_entry_is_quarantined_not_silently_recomputed() {
+        let tmp =
+            std::env::temp_dir().join(format!("elephants-cache-quarantine-{}", std::process::id()));
+        let cache = RunCache::new(&tmp);
+        let cfg = quick_cfg();
+        let path = cache.path_for(&cfg, 9);
+        std::fs::create_dir_all(&tmp).unwrap();
+        std::fs::write(&path, "{ this is not json").unwrap();
+        let before = cache_quarantined();
+        assert!(cache.get(&cfg, 9).is_none());
+        assert_eq!(cache_quarantined(), before + 1, "quarantine must be counted");
+        assert!(!path.exists(), "corrupt entry must be renamed away");
+        assert!(path.with_extension("quarantine").exists(), "quarantine file must exist");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn put_failures_are_counted() {
+        // Point the cache directory *at a file* so create_dir_all fails.
+        let tmp = std::env::temp_dir().join(format!("elephants-cache-file-{}", std::process::id()));
+        std::fs::write(&tmp, "occupied").unwrap();
+        let cache = RunCache::new(&tmp);
+        let cfg = quick_cfg();
+        let result = cache.run(&cfg, 2); // run succeeds, put fails
+        assert!(result.events > 0);
+        assert!(cache_put_errors() > 0, "failed put must be counted");
+        std::fs::remove_file(&tmp).ok();
     }
 }

@@ -9,9 +9,14 @@
 //! * `--bw LIST` — comma-separated bandwidths (e.g. `100M,1G,25G`)
 //! * `--no-cache` — recompute everything
 //! * `--out DIR` — output directory for CSVs (default `results`)
+//! * `--loss MODEL` — bottleneck loss model: `none`, `bernoulli:P`, or
+//!   `ge:P_GB,P_BG` (Gilbert–Elliott)
+//! * `--flap START,DUR` — take the bottleneck down at `START` seconds for
+//!   `DUR` seconds (simulated time)
 
 use crate::cache::RunCache;
-use crate::scenario::{DurationPreset, RunOptions, PAPER_BWS};
+use crate::scenario::{DurationPreset, RunOptions, ScenarioConfig, PAPER_BWS};
+use elephants_netsim::{FaultPlan, LossModel, SimDuration};
 
 /// Parsed command line for a figure binary.
 #[derive(Debug, Clone)]
@@ -24,6 +29,49 @@ pub struct Cli {
     pub cache: RunCache,
     /// CSV output directory.
     pub out_dir: String,
+    /// Loss model to install on the bottleneck (default: none).
+    pub loss: LossModel,
+    /// Fault plan to install on the bottleneck (default: empty).
+    pub faults: FaultPlan,
+    /// Keep only the first N grid configs (smoke runs; `None` = all).
+    pub limit: Option<usize>,
+}
+
+fn parse_loss(s: &str) -> Result<LossModel, String> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("none") {
+        return Ok(LossModel::None);
+    }
+    let model = if let Some(p) = s.strip_prefix("bernoulli:") {
+        let p: f64 = p.parse().map_err(|e| format!("bad --loss probability '{p}': {e}"))?;
+        LossModel::Bernoulli { p }
+    } else if let Some(rest) = s.strip_prefix("ge:") {
+        let (gb, bg) = rest
+            .split_once(',')
+            .ok_or_else(|| format!("bad --loss '{s}': expected ge:P_GB,P_BG"))?;
+        LossModel::GilbertElliott {
+            p_gb: gb.parse().map_err(|e| format!("bad --loss p_gb '{gb}': {e}"))?,
+            p_bg: bg.parse().map_err(|e| format!("bad --loss p_bg '{bg}': {e}"))?,
+        }
+    } else {
+        return Err(format!("bad --loss '{s}': expected none, bernoulli:P, or ge:P_GB,P_BG"));
+    };
+    model.validate().map_err(|e| format!("bad --loss '{s}': {e}"))?;
+    Ok(model)
+}
+
+fn parse_flap(s: &str) -> Result<FaultPlan, String> {
+    let (start, dur) =
+        s.split_once(',').ok_or_else(|| format!("bad --flap '{s}': expected START,DUR seconds"))?;
+    let start: f64 = start.parse().map_err(|e| format!("bad --flap start '{start}': {e}"))?;
+    let dur: f64 = dur.parse().map_err(|e| format!("bad --flap duration '{dur}': {e}"))?;
+    if start < 0.0 || dur <= 0.0 {
+        return Err(format!("bad --flap '{s}': start must be >= 0 and duration > 0"));
+    }
+    let plan =
+        FaultPlan::flap(SimDuration::from_secs_f64(start), SimDuration::from_secs_f64(dur));
+    plan.validate().map_err(|e| format!("bad --flap '{s}': {e}"))?;
+    Ok(plan)
 }
 
 fn parse_bw(s: &str) -> Result<u64, String> {
@@ -47,6 +95,9 @@ impl Cli {
         let mut bws: Vec<u64> = PAPER_BWS.to_vec();
         let mut use_cache = true;
         let mut out_dir = "results".to_string();
+        let mut loss = LossModel::None;
+        let mut faults = FaultPlan::none();
+        let mut limit = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -72,12 +123,31 @@ impl Cli {
                 }
                 "--no-cache" => use_cache = false,
                 "--out" => out_dir = need("--out")?,
+                "--loss" => loss = parse_loss(&need("--loss")?)?,
+                "--flap" => faults = parse_flap(&need("--flap")?)?,
+                "--limit" => {
+                    let n: usize =
+                        need("--limit")?.parse().map_err(|e| format!("bad --limit: {e}"))?;
+                    if n == 0 {
+                        return Err("--limit must be at least 1".into());
+                    }
+                    limit = Some(n);
+                }
                 "--help" | "-h" => return Err(HELP.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{HELP}")),
             }
         }
         let cache = if use_cache { RunCache::new(format!("{out_dir}/cache")) } else { RunCache::disabled() };
-        Ok(Cli { opts, bws, cache, out_dir })
+        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit })
+    }
+
+    /// Copy the CLI's fault knobs (`--loss`, `--flap`) into a scenario and
+    /// validate the combination. Call this on every config a fault-aware
+    /// binary builds from the parsed CLI.
+    pub fn apply_faults(&self, cfg: &mut ScenarioConfig) -> Result<(), String> {
+        cfg.loss = self.loss;
+        cfg.faults = self.faults.clone();
+        cfg.validate()
     }
 
     /// Parse the process arguments, exiting with a message on error.
@@ -94,7 +164,9 @@ impl Cli {
 
 const HELP: &str = "\
 usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
-                       [--bw 100M,1G,25G] [--no-cache] [--out DIR]";
+                       [--bw 100M,1G,25G] [--no-cache] [--out DIR]
+                       [--loss none|bernoulli:P|ge:P_GB,P_BG] [--flap START,DUR]
+                       [--limit N]";
 
 #[cfg(test)]
 mod tests {
@@ -136,5 +208,51 @@ mod tests {
     #[test]
     fn unknown_flag_errors() {
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn loss_flag_parses_and_validates() {
+        assert_eq!(parse(&[]).unwrap().loss, LossModel::None);
+        assert_eq!(parse(&["--loss", "none"]).unwrap().loss, LossModel::None);
+        assert_eq!(
+            parse(&["--loss", "bernoulli:0.01"]).unwrap().loss,
+            LossModel::Bernoulli { p: 0.01 }
+        );
+        assert_eq!(
+            parse(&["--loss", "ge:0.002,0.2"]).unwrap().loss,
+            LossModel::GilbertElliott { p_gb: 0.002, p_bg: 0.2 }
+        );
+        // Validation rejects out-of-range probabilities and junk.
+        assert!(parse(&["--loss", "bernoulli:1.5"]).is_err());
+        assert!(parse(&["--loss", "ge:0.5"]).is_err());
+        assert!(parse(&["--loss", "uniform:0.1"]).is_err());
+    }
+
+    #[test]
+    fn flap_flag_builds_a_plan() {
+        let cli = parse(&["--flap", "2,0.5"]).unwrap();
+        assert_eq!(cli.faults.events.len(), 2, "flap = LinkDown + LinkUp");
+        assert!(parse(&["--flap", "2"]).is_err());
+        assert!(parse(&["--flap", "-1,2"]).is_err());
+        assert!(parse(&["--flap", "1,0"]).is_err());
+    }
+
+    #[test]
+    fn apply_faults_transfers_knobs_into_config() {
+        use elephants_aqm::AqmKind;
+        use elephants_cca::CcaKind;
+        let cli = parse(&["--loss", "ge:0.002,0.2", "--flap", "1,0.25"]).unwrap();
+        let mut cfg = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &RunOptions::quick(),
+        );
+        cli.apply_faults(&mut cfg).unwrap();
+        assert_eq!(cfg.loss, cli.loss);
+        assert_eq!(cfg.faults, cli.faults);
+        assert!(cfg.is_faulted());
     }
 }

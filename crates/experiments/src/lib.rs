@@ -25,21 +25,27 @@ pub mod svg;
 pub mod sweep;
 pub mod trace;
 
-pub use cache::RunCache;
+pub use cache::{cache_put_errors, cache_quarantined, RunCache, CACHE_SCHEMA_VERSION};
 pub use cli::Cli;
-pub use par::{par_map, par_map_with_workers};
+pub use par::{par_map, par_map_with_workers, par_try_map, par_try_map_with_workers};
 pub use figures::{
     fig2, fig3, fig4, fig5, fig6, fig7, fig8, render_table3, table3, FigureOutput, Table3Row,
     FIGURE_BUFFERS_BDP,
 };
 pub use report::{bw_label, TextTable};
-pub use runner::{run_averaged, run_scenario, AveragedResult, RunResult};
+pub use runner::{
+    run_averaged, run_scenario, run_scenario_with_wall_limit, AveragedResult, RunError,
+    RunErrorKind, RunResult, DEFAULT_WALL_LIMIT,
+};
 pub use scenario::{
     paper_grid, paper_pairs, DurationPreset, RunOptions, ScenarioConfig, INTER_PAIRS, INTRA_PAIRS,
     PAPER_BWS, PAPER_MSS, PAPER_QUEUES_BDP,
 };
 pub use svg::{line_chart, write_chart, ChartSpec, Series};
-pub use sweep::{sweep, sweep_with_progress};
+pub use sweep::{
+    sweep, sweep_with_progress, try_sweep, try_sweep_with_progress, try_sweep_with_workers,
+    FailedRun, SweepOutput,
+};
 pub use trace::{run_scenario_traced, ScenarioTrace, TraceSample};
 
 /// Convenience re-exports for binaries and examples.
@@ -48,9 +54,11 @@ pub mod prelude {
     pub use crate::cli::Cli;
     pub use crate::figures::*;
     pub use crate::report::{bw_label, TextTable};
-    pub use crate::runner::{run_averaged, run_scenario};
+    pub use crate::runner::{run_averaged, run_scenario, RunError, RunErrorKind};
     pub use crate::scenario::*;
-    pub use crate::sweep::{sweep, sweep_with_progress};
+    pub use crate::sweep::{
+        sweep, sweep_with_progress, try_sweep, try_sweep_with_progress, FailedRun, SweepOutput,
+    };
     pub use crate::trace::{run_scenario_traced, ScenarioTrace};
     pub use elephants_aqm::AqmKind;
     pub use elephants_cca::CcaKind;

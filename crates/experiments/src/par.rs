@@ -6,6 +6,7 @@
 //! the grid needs — no locks around the work items, no channels, and the
 //! output order is re-established from recorded indices.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use: the available parallelism, capped by
@@ -77,6 +78,53 @@ where
     slots.into_iter().map(|r| r.expect("par_map missed an item")).collect()
 }
 
+/// Render a panic payload as a string (the common `&str`/`String` payloads
+/// verbatim, anything else as a placeholder).
+fn payload_to_string(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`par_map`] that isolates worker panics.
+///
+/// A panic inside `f` is caught with `catch_unwind` and returned as
+/// `Err(payload)` for that item; every other item keeps running on its
+/// worker. This is what makes an 810-cell sweep survive one poisoned cell
+/// instead of tearing the whole process down at `join()`.
+pub fn par_try_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_try_map_with_workers(items, worker_count(items.len()), f)
+}
+
+/// [`par_try_map`] with an explicit worker count (`0` means the default).
+pub fn par_try_map_with_workers<T, R, F>(
+    items: &[T],
+    workers: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    // `f` only sees one item per call and the closure environment is
+    // `Sync`-shared read-only state; a panic cannot leave partially
+    // mutated state visible to other items, so the unwind-safety assertion
+    // is sound for the pure run functions this executor exists for.
+    par_map_with_workers(items, workers, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(payload_to_string)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +167,41 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn try_map_isolates_a_panicking_closure() {
+        let items: Vec<u32> = (0..32).collect();
+        let out = par_try_map(&items, |&x| {
+            if x == 13 {
+                panic!("poisoned cell {x}");
+            }
+            x * 2
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i == 13 {
+                let err = r.as_ref().unwrap_err();
+                assert!(err.contains("poisoned cell 13"), "payload captured: {err}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i as u32 * 2, "other items keep running");
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_panic_isolation_holds_for_every_worker_count() {
+        let items: Vec<u32> = (0..16).collect();
+        for workers in [0, 1, 2, 8] {
+            let out = par_try_map_with_workers(&items, workers, |&x| {
+                if x % 5 == 0 {
+                    panic!("boom {x}");
+                }
+                x
+            });
+            let failed: Vec<usize> =
+                out.iter().enumerate().filter(|(_, r)| r.is_err()).map(|(i, _)| i).collect();
+            assert_eq!(failed, vec![0, 5, 10, 15], "workers={workers}");
+        }
     }
 }

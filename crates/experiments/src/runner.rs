@@ -4,11 +4,12 @@ use crate::scenario::ScenarioConfig;
 use elephants_aqm::build_aqm;
 use elephants_cca::build_cca_seeded;
 
-use elephants_netsim::{DumbbellSpec, SimConfig, SimTime, Simulator};
+use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_workload::plan_flows;
-use elephants_json::impl_json_struct;
+use elephants_json::{impl_json_struct, impl_json_unit_enum};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// How many runs had a degenerate (zero-width) measurement window clamped
 /// away (see [`run_scenario`]). A nonzero value means some scenario was
@@ -19,6 +20,58 @@ static DEGENERATE_WINDOW_RUNS: AtomicU64 = AtomicU64::new(0);
 pub fn degenerate_window_runs() -> u64 {
     DEGENERATE_WINDOW_RUNS.load(Ordering::Relaxed)
 }
+
+/// Why a single (config, seed) run failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunErrorKind {
+    /// A worker panicked; the payload is in `detail`.
+    Panic,
+    /// The run hit its `max_events` budget with events still pending.
+    EventBudget,
+    /// The run exceeded the wall-clock watchdog.
+    WallClock,
+    /// The config failed validation before the simulator was built.
+    InvalidConfig,
+}
+
+impl_json_unit_enum!(RunErrorKind { Panic, EventBudget, WallClock, InvalidConfig });
+
+/// A failed run: what class of failure, plus a human-readable detail
+/// (panic payload, budget numbers, validation message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    /// Failure class.
+    pub kind: RunErrorKind,
+    /// Diagnostic detail.
+    pub detail: String,
+}
+
+impl_json_struct!(RunError { kind, detail });
+
+impl RunError {
+    /// A panic-class error carrying the captured payload.
+    pub fn panic(detail: impl Into<String>) -> Self {
+        RunError { kind: RunErrorKind::Panic, detail: detail.into() }
+    }
+
+    /// Whether a retry could plausibly succeed: wall-clock overruns depend
+    /// on machine load, while the other classes are deterministic in
+    /// `(config, seed)` and would fail identically again.
+    pub fn is_retryable(&self) -> bool {
+        self.kind == RunErrorKind::WallClock
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.kind, self.detail)
+    }
+}
+
+/// Default wall-clock watchdog for one run. Generous: the slowest cell of
+/// the full paper grid takes a couple of minutes on one core; ten is a
+/// hung simulation.
+pub const DEFAULT_WALL_LIMIT: Duration = Duration::from_secs(600);
 
 /// Result of a single (config, seed) run.
 #[derive(Debug, Clone)]
@@ -35,6 +88,8 @@ pub struct RunResult {
     pub rtos: u64,
     /// Bottleneck drops over the run.
     pub drops: u64,
+    /// Packets destroyed at the bottleneck while a fault held it down.
+    pub down_drops: u64,
     /// Flows simulated.
     pub flows: u32,
     /// Events processed (diagnostic).
@@ -50,13 +105,39 @@ impl_json_struct!(RunResult {
     retransmits,
     rtos,
     drops,
+    down_drops,
     flows,
     events,
     peak_queue_pkts,
 });
 
-/// Run one scenario with a specific seed.
-pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
+/// Run one scenario with a specific seed, under the default wall-clock
+/// watchdog ([`DEFAULT_WALL_LIMIT`]).
+///
+/// Fault knobs on the config (steady-state loss, a timed [`FaultPlan`],
+/// an event budget) apply to the bottleneck link. Failures — validation,
+/// event-budget exhaustion, wall-clock overrun — come back as [`RunError`]
+/// instead of aborting the process, so a sweep degrades to a failed cell.
+///
+/// [`FaultPlan`]: elephants_netsim::FaultPlan
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, RunError> {
+    run_scenario_with_wall_limit(cfg, seed, DEFAULT_WALL_LIMIT)
+}
+
+/// [`run_scenario`] with an explicit wall-clock watchdog.
+///
+/// The simulation is driven in fixed simulated-time slices (which does not
+/// perturb the event schedule — `run_until` + `finalize` is byte-identical
+/// to a one-shot `run`), checking the event budget and the wall clock
+/// between slices.
+pub fn run_scenario_with_wall_limit(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    wall_limit: Duration,
+) -> Result<RunResult, RunError> {
+    if let Err(detail) = cfg.validate() {
+        return Err(RunError { kind: RunErrorKind::InvalidConfig, detail });
+    }
     let bw = cfg.bandwidth();
     let spec = DumbbellSpec::paper_with_rtt(bw, cfg.rtt());
     let mut topo = spec.build();
@@ -79,8 +160,15 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
     } else {
         cfg.warmup
     };
-    let sim_cfg = SimConfig { duration: cfg.duration, warmup, max_events: u64::MAX };
+    let sim_cfg = SimConfig { duration: cfg.duration, warmup, max_events: cfg.max_events };
     let mut sim = Simulator::new(topo, sim_cfg, seed);
+
+    if let Some(bn) = sim.topology().bottleneck_link() {
+        sim.topology_mut().link_mut(bn).loss_model = cfg.loss;
+        if !cfg.faults.is_empty() {
+            sim.install_fault_plan(bn, &cfg.faults);
+        }
+    }
 
     let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
     for (sender_idx, starts) in plan.starts.iter().enumerate() {
@@ -102,7 +190,40 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
         }
     }
 
-    let summary = sim.run();
+    // Watchdog loop: advance in 64 simulated-time slices, checking the
+    // event budget and the wall clock at each boundary. Slicing does not
+    // inject events, so the schedule — and therefore every counter in the
+    // summary — is identical to a one-shot `sim.run()`.
+    let started = Instant::now();
+    let end = SimTime::ZERO + cfg.duration;
+    let slice = SimDuration::from_nanos((cfg.duration.as_nanos() / 64).max(1));
+    let mut t = SimTime::ZERO;
+    while t < end {
+        t = (t + slice).min(end);
+        sim.run_until(t);
+        if sim.budget_exhausted() {
+            return Err(RunError {
+                kind: RunErrorKind::EventBudget,
+                detail: format!(
+                    "event budget exhausted: {} events processed of max {} with work pending at t={:?}",
+                    sim.events_processed(),
+                    cfg.max_events,
+                    sim.now(),
+                ),
+            });
+        }
+        if started.elapsed() > wall_limit {
+            return Err(RunError {
+                kind: RunErrorKind::WallClock,
+                detail: format!(
+                    "wall-clock watchdog: exceeded {wall_limit:?} at simulated t={:?} of {:?}",
+                    sim.now(),
+                    cfg.duration,
+                ),
+            });
+        }
+    }
+    let summary = sim.finalize();
 
     // Per-flow goodput grouped by sender node.
     let window = summary.window;
@@ -129,17 +250,18 @@ pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> RunResult {
     let wire_bps =
         if window_s > 0.0 { summary.bottleneck.bytes_tx_window as f64 * 8.0 / window_s } else { 0.0 };
     let utilization = elephants_metrics::link_utilization(wire_bps, cfg.bw_bps as f64);
-    RunResult {
+    Ok(RunResult {
         sender_mbps: senders.iter().map(|s| s.goodput_bps / 1e6).collect(),
         jain,
         utilization,
         retransmits,
         rtos,
         drops,
+        down_drops: summary.bottleneck.down_drops,
         flows: plan.total(),
         events: summary.events_processed,
         peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
-    }
+    })
 }
 
 /// Averages over repeated runs of one scenario.
@@ -191,10 +313,19 @@ pub fn average_runs(config: ScenarioConfig, runs: Vec<RunResult>) -> AveragedRes
 }
 
 /// Run `cfg.seed .. cfg.seed + repeats` and average (no cache).
+///
+/// # Panics
+/// Panics if any run fails; figure assembly needs every repeat. Use the
+/// fault-tolerant sweep path for graceful degradation.
 pub fn run_averaged(cfg: &ScenarioConfig, repeats: u32) -> AveragedResult {
-    let runs: Vec<RunResult> =
-        (0..repeats.max(1)).map(|r| run_scenario(cfg, cfg.seed + r as u64)).collect();
-    average_runs(*cfg, runs)
+    let runs: Vec<RunResult> = (0..repeats.max(1))
+        .map(|r| {
+            let seed = cfg.seed + r as u64;
+            run_scenario(cfg, seed)
+                .unwrap_or_else(|e| panic!("run failed ({}, seed {seed}): {e}", cfg.label()))
+        })
+        .collect();
+    average_runs(cfg.clone(), runs)
 }
 
 /// Convenience used by tests: first flow's start time for the plan.
@@ -216,7 +347,7 @@ mod tests {
     #[test]
     fn cubic_intra_100m_fifo_is_fair_and_full() {
         let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
-        let r = run_scenario(&cfg, 1);
+        let r = run_scenario(&cfg, 1).unwrap();
         assert_eq!(r.flows, 2);
         assert!(r.utilization > 0.85, "φ = {}", r.utilization);
         assert!(r.jain > 0.8, "J = {}", r.jain);
@@ -225,8 +356,8 @@ mod tests {
     #[test]
     fn runner_is_deterministic() {
         let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        let a = run_scenario(&cfg, 7);
-        let b = run_scenario(&cfg, 7);
+        let a = run_scenario(&cfg, 7).unwrap();
+        let b = run_scenario(&cfg, 7).unwrap();
         assert_eq!(a.events, b.events);
         assert_eq!(a.sender_mbps, b.sender_mbps);
         assert_eq!(a.retransmits, b.retransmits);
@@ -246,7 +377,7 @@ mod tests {
         let mut cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
         cfg.warmup = cfg.duration; // zero-width window as configured
         let before = degenerate_window_runs();
-        let r = run_scenario(&cfg, 3);
+        let r = run_scenario(&cfg, 3).unwrap();
         assert!(degenerate_window_runs() > before, "clamp must be counted");
         assert!(r.utilization.is_finite(), "φ = {}", r.utilization);
         assert!(r.jain.is_finite(), "J = {}", r.jain);
@@ -259,7 +390,7 @@ mod tests {
     #[should_panic(expected = "cannot average")]
     fn averaging_rejects_mismatched_sender_vectors() {
         let cfg = quick_cfg(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        let a = run_scenario(&cfg, 1);
+        let a = run_scenario(&cfg, 1).unwrap();
         let mut b = a.clone();
         b.sender_mbps.pop();
         average_runs(cfg, vec![a, b]);
@@ -268,7 +399,7 @@ mod tests {
     #[test]
     fn flow_counts_follow_table2() {
         let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 500_000_000);
-        let r = run_scenario(&cfg, 1);
+        let r = run_scenario(&cfg, 1).unwrap();
         assert_eq!(r.flows, 10);
     }
 }

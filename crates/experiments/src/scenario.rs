@@ -2,8 +2,8 @@
 
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
-use elephants_netsim::{bdp_bytes, Bandwidth, SimDuration};
-use elephants_json::{impl_json_struct, impl_json_unit_enum};
+use elephants_netsim::{bdp_bytes, Bandwidth, FaultPlan, LossModel, SimDuration};
+use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
 
 /// The paper's bottleneck bandwidths (Table 1).
 pub const PAPER_BWS: [u64; 5] =
@@ -40,7 +40,7 @@ pub fn paper_pairs() -> Vec<(CcaKind, CcaKind)> {
 }
 
 /// One cell of the experiment grid.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioConfig {
     /// CCA on sender node 0.
     pub cca1: CcaKind,
@@ -67,6 +67,16 @@ pub struct ScenarioConfig {
     pub rtt_ms: u64,
     /// Base RNG seed; repeats use `seed`, `seed+1`, …
     pub seed: u64,
+    /// Steady-state random loss on the bottleneck (paper future work:
+    /// "variable rates of packet loss"). Default: none.
+    pub loss: LossModel,
+    /// Timed faults on the bottleneck (flaps, mid-run rate/delay/loss
+    /// changes). Default: empty.
+    pub faults: FaultPlan,
+    /// Event-budget watchdog: the run fails with `RunError::EventBudget`
+    /// if it would process more events than this. Default: effectively
+    /// unlimited.
+    pub max_events: u64,
 }
 
 impl_json_struct!(ScenarioConfig {
@@ -82,6 +92,9 @@ impl_json_struct!(ScenarioConfig {
     ecn,
     rtt_ms,
     seed,
+    loss,
+    faults,
+    max_events,
 });
 
 impl ScenarioConfig {
@@ -108,7 +121,58 @@ impl ScenarioConfig {
             ecn: false,
             rtt_ms: 62,
             seed: opts.seed,
+            loss: LossModel::None,
+            faults: FaultPlan::none(),
+            max_events: u64::MAX,
         }
+    }
+
+    /// Validate the fault-injection knobs and watchdog budget.
+    ///
+    /// Must be called on every config loaded from outside the library
+    /// (CLI flags, JSON fault-plan files) before it reaches a simulator:
+    /// `Simulator::install_fault_plan` panics on invalid plans, and the
+    /// run path degrades that panic into a failed cell rather than a
+    /// diagnosis.
+    pub fn validate(&self) -> Result<(), String> {
+        self.loss.validate()?;
+        self.faults.validate()?;
+        if self.max_events == 0 {
+            return Err("max_events budget of zero would fail every run".to_string());
+        }
+        if !(self.flow_scale > 0.0 && self.flow_scale <= 1.0) {
+            return Err(format!("flow_scale out of (0,1]: {}", self.flow_scale));
+        }
+        Ok(())
+    }
+
+    /// Whether any fault-injection knob deviates from the fault-free
+    /// default.
+    pub fn is_faulted(&self) -> bool {
+        self.loss != LossModel::None || !self.faults.is_empty() || self.max_events != u64::MAX
+    }
+
+    /// Stable fingerprint of the fault knobs, empty for fault-free
+    /// configs so the plain grid keeps human-readable cache keys.
+    fn fault_fingerprint(&self) -> String {
+        if !self.is_faulted() {
+            return String::new();
+        }
+        // FNV-1a over the canonical JSON of the fault knobs: stable across
+        // runs (insertion-ordered JSON), filename-safe, and collision-proof
+        // enough for a cache key that also carries every other field.
+        let mut h: u64 = 0xcbf29ce484222325;
+        let canon = format!(
+            "{}|{}|{}",
+            self.loss.to_json_string(),
+            self.faults.to_json_string(),
+            self.max_events,
+        );
+        for b in canon.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        format!("-f{h:016x}")
     }
 
     /// Bottleneck bandwidth as a typed quantity.
@@ -135,7 +199,7 @@ impl ScenarioConfig {
     /// Stable cache key for (config, seed) results.
     pub fn cache_key(&self, seed: u64) -> String {
         format!(
-            "{}-{}-{}-q{:.2}bdp-{}mbps-d{}ms-w{}ms-fs{:.3}-mss{}-ecn{}-rtt{}-s{}",
+            "{}-{}-{}-q{:.2}bdp-{}mbps-d{}ms-w{}ms-fs{:.3}-mss{}-ecn{}-rtt{}-s{}{}",
             self.cca1,
             self.cca2,
             self.aqm,
@@ -148,6 +212,7 @@ impl ScenarioConfig {
             self.ecn as u8,
             self.rtt_ms,
             seed,
+            self.fault_fingerprint(),
         )
     }
 
@@ -296,6 +361,46 @@ mod tests {
         assert_ne!(a.cache_key(1), b.cache_key(1));
         assert_ne!(a.cache_key(1), a.cache_key(2));
         assert_eq!(a.cache_key(1), a.cache_key(1));
+    }
+
+    #[test]
+    fn fault_knobs_change_cache_key_and_validate() {
+        let opts = RunOptions::standard();
+        let base =
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        assert!(!base.is_faulted());
+        assert!(base.validate().is_ok());
+
+        let mut lossy = base.clone();
+        lossy.loss = LossModel::GilbertElliott { p_gb: 0.01, p_bg: 0.2 };
+        assert!(lossy.is_faulted());
+        assert!(lossy.validate().is_ok());
+        assert_ne!(base.cache_key(1), lossy.cache_key(1));
+
+        let mut flapped = base.clone();
+        flapped.faults = FaultPlan::flap(SimDuration::from_secs(3), SimDuration::from_secs(2));
+        assert_ne!(base.cache_key(1), flapped.cache_key(1));
+        assert_ne!(lossy.cache_key(1), flapped.cache_key(1));
+
+        let mut bad = base.clone();
+        bad.loss = LossModel::Bernoulli { p: 7.0 };
+        assert!(bad.validate().is_err());
+        let mut zero_budget = base.clone();
+        zero_budget.max_events = 0;
+        assert!(zero_budget.validate().is_err());
+    }
+
+    #[test]
+    fn faulted_config_round_trips_json() {
+        use elephants_json::FromJson;
+        let opts = RunOptions::quick();
+        let mut cfg =
+            ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Red, 1.0, PAPER_BWS[0], &opts);
+        cfg.loss = LossModel::Bernoulli { p: 0.001 };
+        cfg.faults = FaultPlan::flap(SimDuration::from_secs(2), SimDuration::from_secs(1));
+        cfg.max_events = 5_000_000;
+        let back = ScenarioConfig::from_json_str(&cfg.to_json_string()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

@@ -1,83 +1,263 @@
-//! Parallel execution of scenario grids.
+//! Parallel execution of scenario grids, with graceful degradation.
 //!
 //! Every `(config, seed)` run is an independent deterministic simulation, so
 //! the grid is embarrassingly parallel: flatten configs × seeds into one
-//! work list and hand it to [`crate::par::par_map`]. Each worker owns its
-//! simulator — no shared mutable state, no locks (the "share nothing"
+//! work list and hand it to the executor in [`crate::par`]. Each worker owns
+//! its simulator — no shared mutable state, no locks (the "share nothing"
 //! idiom from the hpc-parallel guides).
+//!
+//! The fault-tolerant entry points ([`try_sweep`],
+//! [`try_sweep_with_progress`]) never abort the grid: a panicking cell is
+//! isolated by [`crate::par::par_try_map`], a runaway cell is stopped by the
+//! runner's event-budget/wall-clock watchdogs, and each failure is recorded
+//! as a [`FailedRun`] in the [`SweepOutput`]. Wall-clock failures — the only
+//! nondeterministic class — get a single bounded retry before being
+//! reported. The legacy [`sweep`]/[`sweep_with_progress`] wrappers keep the
+//! all-or-nothing contract the figure binaries want.
 
-use crate::cache::RunCache;
-use crate::par::par_map;
-use crate::runner::{average_runs, AveragedResult, RunResult};
+use crate::cache::{cache_put_errors, cache_quarantined, RunCache};
+use crate::par::par_try_map_with_workers;
+use crate::runner::{average_runs, AveragedResult, RunError, RunResult, DEFAULT_WALL_LIMIT};
 use crate::scenario::ScenarioConfig;
+use elephants_json::impl_json_struct;
+
+/// One `(config, seed)` cell that did not produce a result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedRun {
+    /// The scenario that failed.
+    pub config: ScenarioConfig,
+    /// The seed that failed.
+    pub seed: u64,
+    /// Why.
+    pub error: RunError,
+}
+
+impl_json_struct!(FailedRun { config, seed, error });
+
+/// Everything a fault-tolerant sweep produces.
+#[derive(Debug, Clone)]
+pub struct SweepOutput {
+    /// Averages for every config with at least one successful run, in
+    /// input order. A config whose every seed failed appears only in
+    /// `failed`.
+    pub results: Vec<AveragedResult>,
+    /// Every failed `(config, seed)` cell, in work order.
+    pub failed: Vec<FailedRun>,
+    /// Retries attempted for watchdog-class (wall-clock) failures.
+    pub retried: u64,
+    /// Cache write failures observed process-wide by the end of the sweep.
+    pub cache_put_errors: u64,
+    /// Unparsable cache entries quarantined process-wide by the end.
+    pub cache_quarantined: u64,
+}
+
+impl SweepOutput {
+    /// One-line health summary for sweep binaries and logs.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "configs_ok: {}  failed_cells: {}  retried: {}  cache_put_errors: {}  cache_quarantined: {}",
+            self.results.len(),
+            self.failed.len(),
+            self.retried,
+            self.cache_put_errors,
+            self.cache_quarantined,
+        )
+    }
+}
+
+fn work_list(configs: &[ScenarioConfig], repeats: u32) -> Vec<(usize, u64)> {
+    configs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
+        .collect()
+}
+
+/// The engine under every sweep entry point: run the work list through the
+/// panic-isolating executor, retry wall-clock failures once, regroup.
+///
+/// Generic over the runner so tests can inject failing cells; production
+/// callers go through [`try_sweep`], which plugs in the cached runner.
+fn try_sweep_impl<F>(
+    configs: &[ScenarioConfig],
+    repeats: u32,
+    workers: usize,
+    runner: F,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> SweepOutput
+where
+    F: Fn(&ScenarioConfig, u64) -> Result<RunResult, RunError> + Sync,
+{
+    let repeats = repeats.max(1);
+    let work = work_list(configs, repeats);
+    let total = work.len();
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+
+    let run_one = |&(i, seed): &(usize, u64)| {
+        let out = runner(&configs[i], seed);
+        if let Some(progress) = progress {
+            let done = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            progress(done, total);
+        }
+        out
+    };
+
+    // First pass: a panic inside the runner becomes Err(payload) for that
+    // cell; everything else keeps running.
+    let mut outcomes: Vec<Result<RunResult, RunError>> =
+        par_try_map_with_workers(&work, workers, run_one)
+            .into_iter()
+            .map(|r| match r {
+                Ok(inner) => inner,
+                Err(payload) => Err(RunError::panic(payload)),
+            })
+            .collect();
+
+    // Single bounded retry for watchdog-class failures: wall-clock
+    // overruns depend on machine load, so one more attempt is cheap and
+    // often enough. Deterministic failures (panic, event budget, invalid
+    // config) would fail identically and are not retried.
+    let retry_idx: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.as_ref().err().is_some_and(|e| e.is_retryable()))
+        .map(|(idx, _)| idx)
+        .collect();
+    let retried = retry_idx.len() as u64;
+    if !retry_idx.is_empty() {
+        let retry_work: Vec<(usize, u64)> = retry_idx.iter().map(|&idx| work[idx]).collect();
+        let second: Vec<Result<RunResult, RunError>> =
+            par_try_map_with_workers(&retry_work, workers, run_one)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(inner) => inner,
+                    Err(payload) => Err(RunError::panic(payload)),
+                })
+                .collect();
+        for (&idx, outcome) in retry_idx.iter().zip(second) {
+            outcomes[idx] = outcome;
+        }
+    }
+
+    // Regroup by config, preserving seed order; collect failures in work
+    // order.
+    let mut grouped: Vec<Vec<RunResult>> =
+        vec![Vec::with_capacity(repeats as usize); configs.len()];
+    let mut failed: Vec<FailedRun> = Vec::new();
+    for (&(i, seed), outcome) in work.iter().zip(outcomes) {
+        match outcome {
+            Ok(run) => grouped[i].push(run),
+            Err(error) => {
+                failed.push(FailedRun { config: configs[i].clone(), seed, error })
+            }
+        }
+    }
+    let results = configs
+        .iter()
+        .zip(grouped)
+        .filter(|(_, runs)| !runs.is_empty())
+        .map(|(cfg, runs)| average_runs(cfg.clone(), runs))
+        .collect();
+    SweepOutput {
+        results,
+        failed,
+        retried,
+        cache_put_errors: cache_put_errors(),
+        cache_quarantined: cache_quarantined(),
+    }
+}
+
+/// Run every config for `repeats` seeds, in parallel, through the cache,
+/// degrading gracefully: failed cells are recorded, not fatal.
+pub fn try_sweep(configs: &[ScenarioConfig], repeats: u32, cache: &RunCache) -> SweepOutput {
+    try_sweep_with_workers(configs, repeats, cache, 0)
+}
+
+/// [`try_sweep`] with an explicit worker count (`0` means the default).
+///
+/// The output must not depend on `workers`: runs are independent and
+/// reassembled in input order, so any thread count yields byte-identical
+/// results — the determinism suite pins this for faulted scenarios.
+pub fn try_sweep_with_workers(
+    configs: &[ScenarioConfig],
+    repeats: u32,
+    cache: &RunCache,
+    workers: usize,
+) -> SweepOutput {
+    try_sweep_impl(
+        configs,
+        repeats,
+        workers,
+        |cfg, seed| cache.run_checked(cfg, seed, DEFAULT_WALL_LIMIT),
+        None,
+    )
+}
+
+/// Progress-reporting fault-tolerant sweep: calls `progress(done, total)`
+/// as runs finish.
+pub fn try_sweep_with_progress(
+    configs: &[ScenarioConfig],
+    repeats: u32,
+    cache: &RunCache,
+    progress: impl Fn(usize, usize) + Sync,
+) -> SweepOutput {
+    try_sweep_impl(
+        configs,
+        repeats,
+        0,
+        |cfg, seed| cache.run_checked(cfg, seed, DEFAULT_WALL_LIMIT),
+        Some(&progress),
+    )
+}
 
 /// Run every config for `repeats` seeds, in parallel, through the cache.
 ///
 /// Results come back in the same order as `configs`.
+///
+/// # Panics
+/// Panics if any cell fails — figure assembly needs the full grid. Use
+/// [`try_sweep`] for graceful degradation.
 pub fn sweep(configs: &[ScenarioConfig], repeats: u32, cache: &RunCache) -> Vec<AveragedResult> {
-    let repeats = repeats.max(1);
-    // Flatten (config, seed) pairs for maximal parallelism.
-    let work: Vec<(usize, u64)> = configs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
-        .collect();
-
-    let runs: Vec<(usize, RunResult)> =
-        par_map(&work, |&(i, seed)| (i, cache.run(&configs[i], seed)));
-
-    // Regroup by config, preserving seed order.
-    let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
-    for (i, run) in runs {
-        grouped[i].push(run);
-    }
-    configs
-        .iter()
-        .zip(grouped)
-        .map(|(cfg, runs)| average_runs(*cfg, runs))
-        .collect()
+    let out = try_sweep(configs, repeats, cache);
+    assert_failures_empty(&out);
+    out.results
 }
 
 /// Progress-reporting sweep: calls `progress(done, total)` as runs finish.
+///
+/// # Panics
+/// Panics if any cell fails, like [`sweep`].
 pub fn sweep_with_progress(
     configs: &[ScenarioConfig],
     repeats: u32,
     cache: &RunCache,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<AveragedResult> {
-    let repeats = repeats.max(1);
-    let work: Vec<(usize, u64)> = configs
-        .iter()
-        .enumerate()
-        .flat_map(|(i, cfg)| (0..repeats).map(move |r| (i, cfg.seed + r as u64)))
-        .collect();
-    let total = work.len();
-    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let out = try_sweep_with_progress(configs, repeats, cache, progress);
+    assert_failures_empty(&out);
+    out.results
+}
 
-    let runs: Vec<(usize, RunResult)> = par_map(&work, |&(i, seed)| {
-        let out = (i, cache.run(&configs[i], seed));
-        let done = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        progress(done, total);
-        out
-    });
-
-    let mut grouped: Vec<Vec<RunResult>> = vec![Vec::with_capacity(repeats as usize); configs.len()];
-    for (i, run) in runs {
-        grouped[i].push(run);
+fn assert_failures_empty(out: &SweepOutput) {
+    if let Some(first) = out.failed.first() {
+        panic!(
+            "{} cell(s) failed; first: ({}, seed {}): {}",
+            out.failed.len(),
+            first.config.label(),
+            first.seed,
+            first.error,
+        );
     }
-    configs
-        .iter()
-        .zip(grouped)
-        .map(|(cfg, runs)| average_runs(*cfg, runs))
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::{run_scenario, RunErrorKind};
     use crate::scenario::{RunOptions, ScenarioConfig};
     use elephants_aqm::AqmKind;
     use elephants_cca::CcaKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn cfgs() -> Vec<ScenarioConfig> {
         let opts = RunOptions::quick();
@@ -95,7 +275,7 @@ mod tests {
         assert_eq!(results[0].config.cca1, CcaKind::Cubic);
         assert_eq!(results[1].config.cca1, CcaKind::Reno);
         // Parallel result equals a direct serial run (determinism).
-        let serial = crate::runner::run_scenario(&cfgs()[0], cfgs()[0].seed);
+        let serial = run_scenario(&cfgs()[0], cfgs()[0].seed).unwrap();
         assert_eq!(results[0].runs[0].events, serial.events);
     }
 
@@ -108,5 +288,123 @@ mod tests {
             n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(n.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+
+    /// The acceptance scenario: one panicking cell, one event-budget cell,
+    /// the rest healthy. The sweep completes every remaining cell and
+    /// reports exactly the two failures with their causes.
+    #[test]
+    fn one_panic_and_one_budget_cell_degrade_gracefully() {
+        let opts = RunOptions::quick();
+        let mut configs = vec![
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+            ScenarioConfig::new(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+            ScenarioConfig::new(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000, &opts),
+        ];
+        // Cell 1 exceeds a deliberately tiny event budget (a real watchdog
+        // trip, not an injected error).
+        configs[1].max_events = 1_000;
+
+        let out = try_sweep_impl(
+            &configs,
+            1,
+            0,
+            |cfg, seed| {
+                if cfg.cca1 == CcaKind::Cubic {
+                    panic!("injected poison for {}", cfg.label());
+                }
+                crate::runner::run_scenario(cfg, seed)
+            },
+            None,
+        );
+
+        assert_eq!(out.failed.len(), 2, "exactly two FailedRun entries: {:?}", out.failed);
+        let panic_fail =
+            out.failed.iter().find(|f| f.error.kind == RunErrorKind::Panic).expect("panic cell");
+        assert!(panic_fail.error.detail.contains("injected poison"), "{}", panic_fail.error);
+        let budget_fail = out
+            .failed
+            .iter()
+            .find(|f| f.error.kind == RunErrorKind::EventBudget)
+            .expect("budget cell");
+        assert!(budget_fail.error.detail.contains("event budget"), "{}", budget_fail.error);
+        // The healthy cell completed.
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].config.cca1, CcaKind::Reno);
+        assert_eq!(out.results[0].config.cca2, CcaKind::Reno);
+        assert_eq!(out.retried, 0, "neither class is retryable");
+    }
+
+    #[test]
+    fn wall_clock_failures_get_one_retry() {
+        let opts = RunOptions::quick();
+        let configs = vec![ScenarioConfig::new(
+            CcaKind::Reno,
+            CcaKind::Reno,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &opts,
+        )];
+        let attempts = AtomicU64::new(0);
+        let out = try_sweep_impl(
+            &configs,
+            1,
+            0,
+            |cfg, seed| {
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    // Transient overload on the first attempt only.
+                    Err(RunError {
+                        kind: RunErrorKind::WallClock,
+                        detail: "simulated transient stall".to_string(),
+                    })
+                } else {
+                    crate::runner::run_scenario(cfg, seed)
+                }
+            },
+            None,
+        );
+        assert_eq!(out.retried, 1);
+        assert!(out.failed.is_empty(), "retry must clear the transient failure");
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn all_seeds_failing_drops_the_config_from_results() {
+        let configs = cfgs();
+        let out = try_sweep_impl(
+            &configs,
+            2,
+            0,
+            |cfg, seed| {
+                if cfg.cca1 == CcaKind::Reno {
+                    panic!("always fails");
+                }
+                crate::runner::run_scenario(cfg, seed)
+            },
+            None,
+        );
+        assert_eq!(out.results.len(), 1, "failed config must not appear in results");
+        assert_eq!(out.failed.len(), 2, "both seeds recorded");
+        // Surviving config averaged over both seeds.
+        assert_eq!(out.results[0].runs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell(s) failed")]
+    fn legacy_sweep_panics_on_failure() {
+        let opts = RunOptions::quick();
+        let mut cfg = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &opts,
+        );
+        cfg.max_events = 100; // guaranteed budget trip
+        let cache = RunCache::disabled();
+        let _ = sweep(&[cfg], 1, &cache);
     }
 }

@@ -168,7 +168,7 @@ pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuratio
     }
 
     ScenarioTrace {
-        config: *cfg,
+        config: cfg.clone(),
         seed,
         interval_s: interval.as_secs_f64(),
         samples,
@@ -209,7 +209,7 @@ mod tests {
         // Stepping must not perturb the simulation: cumulative drops at the
         // end of the trace equal the untraced run's drop count.
         let c = cfg();
-        let untraced = run_scenario(&c, 3);
+        let untraced = run_scenario(&c, 3).unwrap();
         let trace = run_scenario_traced(&c, 3, SimDuration::from_millis(250));
         assert_eq!(trace.samples.last().unwrap().drops, untraced.drops);
     }

@@ -56,6 +56,11 @@ pub enum Event {
     /// generation for `kind`, which is how re-arming a timer cancels the
     /// previously scheduled firing.
     Timer { flow: FlowId, dir: Dir, kind: TimerKind, gen: u32 },
+    /// A scheduled fault fires on `link`: `idx` indexes the simulator's
+    /// installed fault-action table. Routed through the same wheel/heap as
+    /// every other event, so faulted runs keep the exact `(time, seq)`
+    /// total order that makes fixed-seed runs byte-identical.
+    Fault { link: LinkId, idx: u32 },
 }
 
 #[derive(Debug, Clone, Copy)]

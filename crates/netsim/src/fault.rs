@@ -1,12 +1,23 @@
 //! Link fault injection.
 //!
 //! The paper's future work calls for observing behaviour "under network
-//! anomalies (e.g. variable rates of packet loss)". [`LossModel`] implements
-//! that extension: a per-link random-loss process applied to packets after
-//! serialization (i.e. in-flight corruption, invisible to the AQM).
+//! anomalies (e.g. variable rates of packet loss)". This module implements
+//! that extension in two layers:
+//!
+//! * **Steady-state impairments** applied per packet after serialization
+//!   (i.e. in-flight corruption, invisible to the AQM): [`LossModel`],
+//!   [`ReorderModel`], [`DuplicateModel`] and a uniform jitter knob on the
+//!   link.
+//! * **Timed faults**: a [`FaultPlan`] — a validated, JSON-round-trippable
+//!   list of [`FaultEvent`]s (link flaps, mid-run bandwidth/delay/loss
+//!   changes) that the simulator dispatches deterministically through the
+//!   event queue's timer wheel, so fixed-seed faulted runs stay
+//!   byte-identical.
 
 use crate::rng::{RngExt, SmallRng};
-use elephants_json::{FromJson, JsonError, ToJson, Value};
+use crate::time::SimDuration;
+use crate::units::Bandwidth;
+use elephants_json::{impl_json_struct, FromJson, JsonError, ToJson, Value};
 
 /// A random packet-loss process on a link.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -122,6 +133,207 @@ impl LossState {
     }
 }
 
+/// A random packet-reordering process on a link.
+///
+/// With probability `p` a packet's propagation is stretched by `extra`,
+/// letting later packets overtake it (a model of parallel-path or
+/// link-layer retransmission reordering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReorderModel {
+    /// Reorder probability in `[0, 1]` per packet.
+    pub p: f64,
+    /// Extra one-way delay applied to reordered packets.
+    pub extra: SimDuration,
+}
+
+impl Default for ReorderModel {
+    fn default() -> Self {
+        ReorderModel { p: 0.0, extra: SimDuration::ZERO }
+    }
+}
+
+impl_json_struct!(ReorderModel { p, extra });
+
+impl ReorderModel {
+    /// True when the model never reorders (the default).
+    pub fn is_none(&self) -> bool {
+        self.p <= 0.0 || self.extra.is_zero()
+    }
+
+    /// Validate the probability range.
+    pub fn validate(&self) -> Result<(), String> {
+        if (0.0..=1.0).contains(&self.p) {
+            Ok(())
+        } else {
+            Err(format!("reorder probability out of [0,1]: {}", self.p))
+        }
+    }
+}
+
+/// A random packet-duplication process on a link.
+///
+/// With probability `p` a packet is delivered twice (a model of link-layer
+/// retransmission racing the original).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DuplicateModel {
+    /// Duplication probability in `[0, 1]` per packet.
+    pub p: f64,
+}
+
+impl_json_struct!(DuplicateModel { p });
+
+impl DuplicateModel {
+    /// True when the model never duplicates (the default).
+    pub fn is_none(&self) -> bool {
+        self.p <= 0.0
+    }
+
+    /// Validate the probability range.
+    pub fn validate(&self) -> Result<(), String> {
+        if (0.0..=1.0).contains(&self.p) {
+            Ok(())
+        } else {
+            Err(format!("duplicate probability out of [0,1]: {}", self.p))
+        }
+    }
+}
+
+/// One state change applied to a link at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Take the link down: every packet offered or dequeued while down is
+    /// destroyed (and counted), as on a dark fiber cut.
+    LinkDown,
+    /// Bring the link back up; transmission resumes from the backlog.
+    LinkUp,
+    /// Change the serialization rate (mid-run capacity change).
+    SetBandwidth(Bandwidth),
+    /// Change the one-way propagation delay (mid-run RTT change).
+    SetDelay(SimDuration),
+    /// Swap the random-loss process (variable loss rate).
+    SetLossModel(LossModel),
+}
+
+impl ToJson for FaultAction {
+    fn to_json(&self) -> Value {
+        match *self {
+            FaultAction::LinkDown => Value::Str("LinkDown".to_string()),
+            FaultAction::LinkUp => Value::Str("LinkUp".to_string()),
+            FaultAction::SetBandwidth(bw) => {
+                Value::Object(vec![("SetBandwidth".to_string(), bw.to_json())])
+            }
+            FaultAction::SetDelay(d) => Value::Object(vec![("SetDelay".to_string(), d.to_json())]),
+            FaultAction::SetLossModel(m) => {
+                Value::Object(vec![("SetLossModel".to_string(), m.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for FaultAction {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v {
+            Value::Str(s) if s == "LinkDown" => Ok(FaultAction::LinkDown),
+            Value::Str(s) if s == "LinkUp" => Ok(FaultAction::LinkUp),
+            Value::Object(fields) => match fields.first().map(|(k, _)| k.as_str()) {
+                Some("SetBandwidth") => {
+                    Ok(FaultAction::SetBandwidth(Bandwidth::from_json(v.get_field("SetBandwidth")?)?))
+                }
+                Some("SetDelay") => {
+                    Ok(FaultAction::SetDelay(SimDuration::from_json(v.get_field("SetDelay")?)?))
+                }
+                Some("SetLossModel") => {
+                    Ok(FaultAction::SetLossModel(LossModel::from_json(v.get_field("SetLossModel")?)?))
+                }
+                _ => Err(JsonError::new("unknown FaultAction variant".to_string())),
+            },
+            other => Err(JsonError::new(format!(
+                "expected FaultAction, got {}",
+                other.kind_name()
+            ))),
+        }
+    }
+}
+
+/// A [`FaultAction`] scheduled at a sim-relative time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires, relative to simulation start.
+    pub at: SimDuration,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+impl_json_struct!(FaultEvent { at, action });
+
+/// A time-ordered list of [`FaultEvent`]s for one link.
+///
+/// Installed on a simulator with `Simulator::install_fault_plan`; each
+/// event is scheduled through the ordinary event queue so faulted runs
+/// share the engine's exact `(time, seq)` total order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// The timed actions, in non-decreasing time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl_json_struct!(FaultPlan { events });
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A link flap: down at `start`, back up `outage` later.
+    pub fn flap(start: SimDuration, outage: SimDuration) -> Self {
+        FaultPlan {
+            events: vec![
+                FaultEvent { at: start, action: FaultAction::LinkDown },
+                FaultEvent { at: start + outage, action: FaultAction::LinkUp },
+            ],
+        }
+    }
+
+    /// Append an event (builder style).
+    pub fn with(mut self, at: SimDuration, action: FaultAction) -> Self {
+        self.events.push(FaultEvent { at, action });
+        self
+    }
+
+    /// Validate ordering and every embedded model.
+    ///
+    /// Events must be in non-decreasing time order (the plan is a schedule,
+    /// not a set — out-of-order entries almost certainly mean a typo'd
+    /// timestamp) and every `SetLossModel` payload must itself validate.
+    pub fn validate(&self) -> Result<(), String> {
+        for w in self.events.windows(2) {
+            if w[1].at < w[0].at {
+                return Err(format!(
+                    "fault events out of order: {:?} after {:?}",
+                    w[1].at, w[0].at
+                ));
+            }
+        }
+        for ev in &self.events {
+            if let FaultAction::SetLossModel(m) = &ev.action {
+                m.validate()?;
+            }
+            if let FaultAction::SetBandwidth(bw) = &ev.action {
+                if bw.as_bps() == 0 {
+                    return Err("SetBandwidth to zero: use LinkDown instead".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +391,49 @@ mod tests {
         assert!(LossModel::Bernoulli { p: 1.5 }.validate().is_err());
         assert!(LossModel::Bernoulli { p: 0.5 }.validate().is_ok());
         assert!(LossModel::GilbertElliott { p_gb: -0.1, p_bg: 0.5 }.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_flap_round_trips_json() {
+        let plan = FaultPlan::flap(SimDuration::from_secs(3), SimDuration::from_secs(2))
+            .with(
+                SimDuration::from_secs(6),
+                FaultAction::SetLossModel(LossModel::GilbertElliott { p_gb: 0.01, p_bg: 0.2 }),
+            )
+            .with(SimDuration::from_secs(8), FaultAction::SetBandwidth(Bandwidth::from_mbps(50)))
+            .with(SimDuration::from_secs(9), FaultAction::SetDelay(SimDuration::from_millis(10)));
+        assert!(plan.validate().is_ok());
+        let json = plan.to_json_string();
+        let back = FaultPlan::from_json_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_misordered_and_bad_payloads() {
+        let mut plan = FaultPlan::flap(SimDuration::from_secs(5), SimDuration::from_secs(1));
+        plan.events.swap(0, 1);
+        assert!(plan.validate().is_err(), "out-of-order events must be rejected");
+
+        let bad_loss = FaultPlan::none().with(
+            SimDuration::from_secs(1),
+            FaultAction::SetLossModel(LossModel::Bernoulli { p: 2.0 }),
+        );
+        assert!(bad_loss.validate().is_err());
+
+        let zero_bw = FaultPlan::none()
+            .with(SimDuration::from_secs(1), FaultAction::SetBandwidth(Bandwidth::ZERO));
+        assert!(zero_bw.validate().is_err());
+
+        assert!(FaultPlan::none().validate().is_ok());
+    }
+
+    #[test]
+    fn reorder_and_duplicate_validation() {
+        assert!(ReorderModel { p: 0.5, extra: SimDuration::from_millis(1) }.validate().is_ok());
+        assert!(ReorderModel { p: -0.1, extra: SimDuration::ZERO }.validate().is_err());
+        assert!(ReorderModel::default().is_none());
+        assert!(DuplicateModel { p: 0.01 }.validate().is_ok());
+        assert!(DuplicateModel { p: 1.1 }.validate().is_err());
+        assert!(DuplicateModel::default().is_none());
     }
 }

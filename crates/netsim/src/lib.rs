@@ -51,7 +51,7 @@ pub mod topology;
 pub mod units;
 
 pub use event::{Event, EventQueue, TimerKind};
-pub use fault::LossModel;
+pub use fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, ReorderModel};
 pub use link::{Link, LinkId, LinkSpec, LinkStats};
 pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketArena, PacketKind, PacketRef, SACK_MAX};
 pub use queue::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
@@ -64,6 +64,7 @@ pub use units::{bdp_bytes, Bandwidth};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::event::TimerKind;
+    pub use crate::fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, ReorderModel};
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketKind};
     pub use crate::queue::{Aqm, DequeueResult, DropTail, Verdict};

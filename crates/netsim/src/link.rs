@@ -1,12 +1,12 @@
 //! Unidirectional links: serialization, propagation, egress queueing.
 
 use crate::event::{Event, EventQueue};
-use crate::fault::{LossModel, LossState};
+use crate::fault::{DuplicateModel, FaultAction, LossModel, LossState, ReorderModel};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{Aqm, AqmStats, DropTail};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
-use crate::rng::SmallRng;
+use crate::rng::{RngExt, SmallRng};
 use elephants_json::{impl_json_newtype, impl_json_struct};
 
 /// Index of a link within the topology.
@@ -42,6 +42,14 @@ pub struct LinkStats {
     pub bytes_tx: u64,
     /// Packets destroyed by fault injection after transmission.
     pub fault_losses: u64,
+    /// Packets destroyed because the link was down.
+    pub down_drops: u64,
+    /// Packets delayed out of order by the reorder model.
+    pub reordered: u64,
+    /// Extra copies delivered by the duplicate model.
+    pub duplicated: u64,
+    /// Timed fault actions applied to this link.
+    pub fault_events_applied: u64,
     /// Largest egress-queue depth observed, in packets.
     pub peak_qlen_pkts: u64,
 }
@@ -62,7 +70,16 @@ pub struct Link {
     pub aqm: Box<dyn Aqm>,
     /// Random in-flight loss (fault-injection extension; defaults to none).
     pub loss_model: LossModel,
+    /// Random in-flight reordering (defaults to none).
+    pub reorder: ReorderModel,
+    /// Random in-flight duplication (defaults to none).
+    pub duplicate: DuplicateModel,
+    /// Uniform random extra propagation delay in `[0, jitter]` per packet
+    /// (defaults to zero). Unlike [`ReorderModel`] this perturbs *every*
+    /// packet, modelling serialization variance rather than path changes.
+    pub jitter: SimDuration,
     loss_state: LossState,
+    up: bool,
     busy: bool,
     stats: LinkStats,
 }
@@ -78,7 +95,11 @@ impl Link {
             prop: spec.prop,
             aqm,
             loss_model: LossModel::None,
+            reorder: ReorderModel::default(),
+            duplicate: DuplicateModel::default(),
+            jitter: SimDuration::ZERO,
             loss_state: LossState::default(),
+            up: true,
             busy: false,
             stats: LinkStats::default(),
         }
@@ -93,8 +114,13 @@ impl Link {
     }
 
     /// Offer a packet to this link's egress queue, starting transmission if
-    /// the transmitter is idle.
+    /// the transmitter is idle. While the link is down the packet is
+    /// destroyed (a dark link has no queue to hold it).
     pub fn offer(&mut self, pkt: Packet, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        if !self.up {
+            self.stats.down_drops += 1;
+            return;
+        }
         match self.aqm.enqueue(pkt, now, rng) {
             crate::queue::Verdict::Dropped => {}
             _ => {
@@ -117,6 +143,9 @@ impl Link {
 
     fn start_tx(&mut self, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
         debug_assert!(!self.busy);
+        if !self.up {
+            return;
+        }
         let res = self.aqm.dequeue(now, rng);
         let Some(pkt) = res.pkt else { return };
         let ser = self.rate.serialization_time(pkt.size as u64);
@@ -127,9 +156,71 @@ impl Link {
         let lost = self.loss_state.should_drop(&self.loss_model, rng);
         if lost {
             self.stats.fault_losses += 1;
-        } else {
-            events.schedule_deliver(now + ser + self.prop, self.dst, pkt);
+            return;
         }
+        // Per-packet impairment draws happen in event order on the shared
+        // run RNG, so a fixed seed yields a fixed impairment pattern. Each
+        // draw is gated on its model being active: the default (no
+        // impairments) consumes no randomness and leaves un-faulted runs
+        // byte-identical to pre-fault-injection builds.
+        let mut delay = self.prop;
+        if !self.jitter.is_zero() {
+            delay += SimDuration::from_nanos(rng.random_range(0..=self.jitter.as_nanos()));
+        }
+        if !self.reorder.is_none() && rng.random::<f64>() < self.reorder.p {
+            self.stats.reordered += 1;
+            delay += self.reorder.extra;
+        }
+        events.schedule_deliver(now + ser + delay, self.dst, pkt);
+        if !self.duplicate.is_none() && rng.random::<f64>() < self.duplicate.p {
+            self.stats.duplicated += 1;
+            events.schedule_deliver(now + ser + delay, self.dst, pkt);
+        }
+    }
+
+    /// Apply a timed fault action (dispatched by the simulator).
+    pub fn apply_fault(
+        &mut self,
+        action: FaultAction,
+        now: SimTime,
+        events: &mut EventQueue,
+        rng: &mut SmallRng,
+    ) {
+        self.stats.fault_events_applied += 1;
+        match action {
+            FaultAction::LinkDown => self.set_down(),
+            FaultAction::LinkUp => self.set_up(now, events, rng),
+            FaultAction::SetBandwidth(bw) => self.rate = bw,
+            FaultAction::SetDelay(d) => self.prop = d,
+            FaultAction::SetLossModel(m) => self.loss_model = m,
+        }
+    }
+
+    /// Take the link down. The transmitter freezes: already-queued packets
+    /// stay buffered (router memory survives the cut) and resume on
+    /// [`Link::set_up`], while packets *offered* during the outage are
+    /// destroyed and counted as `down_drops`. A packet mid-serialization
+    /// finishes its `LinkTxDone` and its delivery still arrives — faults
+    /// cut the link, not photons already in the fiber. Idempotent.
+    pub fn set_down(&mut self) {
+        self.up = false;
+    }
+
+    /// Bring the link back up, restarting transmission if a packet is
+    /// queued and the transmitter is idle. Idempotent.
+    pub fn set_up(&mut self, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        if self.up {
+            return;
+        }
+        self.up = true;
+        if !self.busy {
+            self.start_tx(now, events, rng);
+        }
+    }
+
+    /// Whether the link is currently up.
+    pub fn is_up(&self) -> bool {
+        self.up
     }
 
     /// Transmission counters.
@@ -241,5 +332,95 @@ mod tests {
         link.on_tx_done(SimTime::ZERO, &mut ev, &mut rng);
         assert!(ev.is_empty());
         assert!(!link.is_busy());
+    }
+
+    #[test]
+    fn down_link_destroys_offers_and_freezes_backlog() {
+        let mut link = mk_link(10, 0);
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        // Queue two packets, let the first start serializing.
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        link.offer(pkt(1, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        link.set_down();
+        assert!(!link.is_up());
+        // Offers during the outage are destroyed.
+        link.offer(pkt(2, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        assert_eq!(link.stats().down_drops, 1);
+        // The in-flight packet still completes...
+        let (t1, _) = ev.pop().unwrap(); // TxDone pkt0
+        let (_, _) = ev.pop().unwrap(); // Deliver pkt0
+        link.on_tx_done(t1, &mut ev, &mut rng);
+        // ...but the frozen transmitter does not pick up the backlog.
+        assert!(ev.is_empty(), "down link must not serialize the backlog");
+        assert!(!link.is_busy());
+        // Coming back up resumes transmission of the surviving packet.
+        link.set_up(t1, &mut ev, &mut rng);
+        let (_, e) = ev.pop().unwrap();
+        assert!(matches!(e, Event::LinkTxDone { .. }));
+        assert_eq!(link.stats().pkts_tx, 2);
+    }
+
+    #[test]
+    fn fault_actions_change_rate_delay_and_loss() {
+        let mut link = mk_link(10, 5);
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.apply_fault(
+            FaultAction::SetBandwidth(Bandwidth::from_mbps(20)),
+            SimTime::ZERO,
+            &mut ev,
+            &mut rng,
+        );
+        link.apply_fault(
+            FaultAction::SetDelay(SimDuration::from_millis(1)),
+            SimTime::ZERO,
+            &mut ev,
+            &mut rng,
+        );
+        link.apply_fault(
+            FaultAction::SetLossModel(LossModel::Bernoulli { p: 1.0 }),
+            SimTime::ZERO,
+            &mut ev,
+            &mut rng,
+        );
+        assert_eq!(link.stats().fault_events_applied, 3);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        // 1250 B at 20 Mbps = 0.5 ms serialization; loss model eats delivery.
+        let (t1, e1) = ev.pop().unwrap();
+        assert_eq!(t1, SimTime::from_nanos(500_000));
+        assert!(matches!(e1, Event::LinkTxDone { .. }));
+        assert!(ev.pop().is_none());
+        assert_eq!(link.stats().fault_losses, 1);
+    }
+
+    #[test]
+    fn duplicate_model_delivers_twice() {
+        let mut link = mk_link(10, 0);
+        link.duplicate = DuplicateModel { p: 1.0 };
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        let (_, _) = ev.pop().unwrap(); // TxDone
+        let (_, d1) = ev.pop().unwrap();
+        let (_, d2) = ev.pop().unwrap();
+        assert!(matches!(d1, Event::Deliver { .. }));
+        assert!(matches!(d2, Event::Deliver { .. }));
+        assert_eq!(link.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_model_delays_marked_packets() {
+        let mut link = mk_link(10, 0);
+        link.reorder = ReorderModel { p: 1.0, extra: SimDuration::from_millis(3) };
+        let mut ev = EventQueue::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        link.offer(pkt(0, 1250), SimTime::ZERO, &mut ev, &mut rng);
+        let (_, _) = ev.pop().unwrap(); // TxDone at 1 ms
+        let (td, d) = ev.pop().unwrap();
+        assert!(matches!(d, Event::Deliver { .. }));
+        // 1 ms serialization + 0 prop + 3 ms reorder penalty.
+        assert_eq!(td, SimTime::from_nanos(4_000_000));
+        assert_eq!(link.stats().reordered, 1);
     }
 }

@@ -1,6 +1,7 @@
 //! The simulator: event loop, endpoint dispatch, run summaries.
 
 use crate::event::{Event, EventQueue, TimerKind};
+use crate::fault::{FaultAction, FaultPlan};
 use crate::link::LinkId;
 use crate::packet::{Dir, FlowId, NodeId, Packet};
 use crate::queue::AqmStats;
@@ -250,6 +251,12 @@ pub struct BottleneckReport {
     pub aqm: AqmStats,
     /// Packets destroyed by fault injection.
     pub fault_losses: u64,
+    /// Packets destroyed while a fault held the link down.
+    pub down_drops: u64,
+    /// Packets delayed out of order by the reorder model.
+    pub reordered: u64,
+    /// Extra copies delivered by the duplicate model.
+    pub duplicated: u64,
     /// Largest bottleneck-queue depth observed, in packets.
     pub peak_qlen_pkts: u64,
 }
@@ -284,6 +291,8 @@ pub struct Simulator {
     started: bool,
     processed: u64,
     mark_bytes_bottleneck: u64,
+    /// Installed fault actions; `Event::Fault { idx }` indexes this table.
+    fault_actions: Vec<FaultAction>,
     scratch_pkts: Vec<Packet>,
     scratch_timers: Vec<(TimerKind, SimTime, u32)>,
 }
@@ -311,6 +320,7 @@ impl Simulator {
             started: false,
             processed: 0,
             mark_bytes_bottleneck: 0,
+            fault_actions: Vec::new(),
             scratch_pkts: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(8),
         }
@@ -358,6 +368,38 @@ impl Simulator {
     /// Number of registered flows.
     pub fn n_flows(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Install a validated [`FaultPlan`] on `link`.
+    ///
+    /// Each event is scheduled through the ordinary event queue (timer
+    /// wheel + heap), interleaving with packet and timer events in the
+    /// engine's exact `(time, seq)` total order — a faulted fixed-seed run
+    /// is therefore just as byte-reproducible as an un-faulted one.
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate`]; validate
+    /// user-supplied plans before they reach the simulator.
+    pub fn install_fault_plan(&mut self, link: LinkId, plan: &FaultPlan) {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        for ev in &plan.events {
+            let idx = self.fault_actions.len() as u32;
+            self.fault_actions.push(ev.action);
+            self.events.schedule(SimTime::ZERO + ev.at, Event::Fault { link, idx });
+        }
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// True when the run stopped on the `max_events` budget with work still
+    /// pending — the signature of a runaway configuration.
+    pub fn budget_exhausted(&mut self) -> bool {
+        self.processed >= self.cfg.max_events && self.events.peek_time().is_some()
     }
 
     /// Borrow a flow's sender endpoint (for downcasting in tests/analysis).
@@ -419,6 +461,13 @@ impl Simulator {
                     let pkt = self.events.take_packet(pkt);
                     self.deliver(node, pkt);
                 }
+                Event::Fault { link, idx } => {
+                    let action = self.fault_actions[idx as usize];
+                    let now = self.now;
+                    self.topo
+                        .link_mut(link)
+                        .apply_fault(action, now, &mut self.events, &mut self.rng);
+                }
                 Event::Timer { flow, dir, kind, gen } => {
                     // Lazy cancellation: a firing from a superseded arming
                     // (re-armed or cancelled since) is dropped unseen.
@@ -444,11 +493,19 @@ impl Simulator {
     pub fn run(&mut self) -> RunSummary {
         let end = SimTime::ZERO + self.cfg.duration;
         self.run_until(end);
+        self.finalize()
+    }
+
+    /// Close out a run driven by [`Simulator::run_until`] and produce the
+    /// summary: `run()` is exactly `run_until(duration)` + `finalize()`, so
+    /// callers that step the clock themselves (tracing, watchdogs) get
+    /// byte-identical summaries to a one-shot run.
+    pub fn finalize(&mut self) -> RunSummary {
         // A run shorter than the warmup still needs a (degenerate) mark.
         if !self.marked {
             self.do_mark(SimTime::ZERO + self.cfg.warmup);
         }
-        self.now = end;
+        self.now = SimTime::ZERO + self.cfg.duration;
         self.summary(self.processed)
     }
 
@@ -547,6 +604,9 @@ impl Simulator {
                     bytes_tx_window: link.stats().bytes_tx - self.mark_bytes_bottleneck,
                     aqm: link.aqm_stats(),
                     fault_losses: link.stats().fault_losses,
+                    down_drops: link.stats().down_drops,
+                    reordered: link.stats().reordered,
+                    duplicated: link.stats().duplicated,
                     peak_qlen_pkts: link.stats().peak_qlen_pkts,
                 }
             }
@@ -767,6 +827,122 @@ mod tests {
                 (1, start + SimDuration::from_millis(20)),
             ]
         );
+    }
+
+    #[test]
+    fn fault_plan_dispatches_in_time_order() {
+        use crate::fault::{FaultAction, FaultPlan};
+        let mut sim = build_sim();
+        add_blast(&mut sim, 0, 100);
+        let bn = sim.topology().bottleneck_link().unwrap();
+        let plan = FaultPlan::flap(SimDuration::from_millis(10), SimDuration::from_millis(50))
+            .with(
+                SimDuration::from_millis(100),
+                FaultAction::SetBandwidth(crate::units::Bandwidth::from_mbps(50)),
+            );
+        sim.install_fault_plan(bn, &plan);
+        let summary = sim.run();
+        let link = sim.topology().link(bn);
+        assert_eq!(link.stats().fault_events_applied, 3);
+        assert!(link.is_up(), "LinkUp must have fired after LinkDown");
+        assert_eq!(link.rate, crate::units::Bandwidth::from_mbps(50));
+        // The blast starts at t=0 and the flap cuts in at 10 ms: some of the
+        // 100 packets are destroyed at the dark link.
+        assert!(link.stats().down_drops > 0 || summary.bottleneck.bytes_tx_total > 0);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::fault::{FaultAction, FaultPlan, LossModel};
+        let run = || {
+            let mut sim = build_sim();
+            add_blast(&mut sim, 0, 200);
+            add_blast(&mut sim, 1, 200);
+            let bn = sim.topology().bottleneck_link().unwrap();
+            let plan = FaultPlan::flap(SimDuration::from_millis(20), SimDuration::from_millis(30))
+                .with(
+                    SimDuration::from_millis(60),
+                    FaultAction::SetLossModel(LossModel::GilbertElliott { p_gb: 0.05, p_bg: 0.3 }),
+                );
+            sim.install_fault_plan(bn, &plan);
+            let s = sim.run();
+            let st = sim.topology().link(bn).stats();
+            (s.events_processed, st.pkts_tx, st.down_drops, st.fault_losses)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn installing_invalid_plan_panics() {
+        use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+        let mut sim = build_sim();
+        let bn = sim.topology().bottleneck_link().unwrap();
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent { at: SimDuration::from_secs(2), action: FaultAction::LinkDown },
+                FaultEvent { at: SimDuration::from_secs(1), action: FaultAction::LinkUp },
+            ],
+        };
+        sim.install_fault_plan(bn, &plan);
+    }
+
+    #[test]
+    fn sliced_run_with_finalize_matches_one_shot() {
+        use crate::fault::FaultPlan;
+        let run_one_shot = || {
+            let mut sim = build_sim();
+            add_blast(&mut sim, 0, 100);
+            let bn = sim.topology().bottleneck_link().unwrap();
+            sim.install_fault_plan(
+                bn,
+                &FaultPlan::flap(SimDuration::from_millis(50), SimDuration::from_millis(100)),
+            );
+            let s = sim.run();
+            (s.events_processed, s.bottleneck.bytes_tx_total, s.bottleneck.bytes_tx_window)
+        };
+        let run_sliced = || {
+            let mut sim = build_sim();
+            add_blast(&mut sim, 0, 100);
+            let bn = sim.topology().bottleneck_link().unwrap();
+            sim.install_fault_plan(
+                bn,
+                &FaultPlan::flap(SimDuration::from_millis(50), SimDuration::from_millis(100)),
+            );
+            let end = SimTime::ZERO + SimDuration::from_secs(2);
+            let mut t = SimTime::ZERO;
+            while t < end {
+                t = (t + SimDuration::from_millis(73)).min(end);
+                sim.run_until(t);
+            }
+            let s = sim.finalize();
+            (s.events_processed, s.bottleneck.bytes_tx_total, s.bottleneck.bytes_tx_window)
+        };
+        assert_eq!(run_one_shot(), run_sliced());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detectable() {
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let topo = spec.build();
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::ZERO,
+            max_events: 10,
+        };
+        let mut sim = Simulator::new(topo, cfg, 1);
+        let spec = DumbbellSpec::paper(Bandwidth::from_mbps(100));
+        let (s, r) = (spec.sender(0), spec.receiver(0));
+        sim.add_flow(
+            s,
+            r,
+            Box::new(BlastSender { peer: r, n: 100, size: 1250, acked: 0, report: Default::default() }),
+            Box::new(CountingReceiver { peer: s, next: 0, report: Default::default() }),
+            SimTime::ZERO,
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!(sim.budget_exhausted(), "10-event budget must trip on a 100-packet blast");
+        assert_eq!(sim.events_processed(), 10);
     }
 
     #[test]

@@ -107,6 +107,47 @@ fn serialization_inverts() {
     });
 }
 
+/// Random structurally-valid fault plans (including Gilbert–Elliott and
+/// Bernoulli loss payloads) survive a JSON encode → decode round trip
+/// bit-exactly, so committed anomaly scenarios reload as authored.
+#[test]
+fn fault_plan_json_round_trips() {
+    use elephants_json::{FromJson, ToJson};
+    use elephants_netsim::{FaultAction, FaultPlan, LossModel};
+    run_cases("fault_plan_json_round_trips", DEFAULT_CASES, |rng| {
+        let mut at = 0u64;
+        let mut plan = FaultPlan::none();
+        for _ in 0..rng.random_range(0usize..8) {
+            at += rng.random_range(0u64..2_000_000_000);
+            let action = match rng.random_range(0u32..5) {
+                0 => FaultAction::LinkDown,
+                1 => FaultAction::LinkUp,
+                2 => FaultAction::SetBandwidth(Bandwidth::from_bps(
+                    rng.random_range(1_000_000u64..10_000_000_000),
+                )),
+                3 => FaultAction::SetDelay(SimDuration::from_micros(
+                    rng.random_range(1u64..100_000),
+                )),
+                _ => FaultAction::SetLossModel(match rng.random_range(0u32..3) {
+                    0 => LossModel::None,
+                    1 => LossModel::Bernoulli { p: rng.random::<f64>() },
+                    _ => LossModel::GilbertElliott {
+                        p_gb: rng.random::<f64>(),
+                        p_bg: rng.random::<f64>(),
+                    },
+                }),
+            };
+            plan = plan.with(SimDuration::from_nanos(at), action);
+        }
+        plan.validate().map_err(|e| format!("generated plan must be valid: {e}"))?;
+        let json = plan.to_json_string();
+        let back =
+            FaultPlan::from_json_str(&json).map_err(|e| format!("decode failed: {e}\n{json}"))?;
+        prop_check_eq!(back, plan);
+        Ok(())
+    });
+}
+
 /// BDP is monotone in both bandwidth and RTT.
 #[test]
 fn bdp_monotone() {

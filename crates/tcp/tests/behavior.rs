@@ -3,7 +3,7 @@
 
 use elephants_cca::{build_cca_seeded, CcaKind};
 use elephants_netsim::prelude::*;
-use elephants_netsim::LossModel;
+use elephants_netsim::{FaultPlan, LossModel};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 
 fn paper_sim(bw_mbps: u64, buffer_bdp: f64, secs: u64, seed: u64) -> (Simulator, DumbbellSpec) {
@@ -111,6 +111,51 @@ fn path_recovers_after_transient_blackhole() {
         recovered_mbps > 70.0,
         "flow must recover to near line rate after the outage: {recovered_mbps:.1} Mbps"
     );
+}
+
+#[test]
+fn flow_survives_a_two_second_link_flap() {
+    // Tentpole behaviour: a scheduled LinkDown/LinkUp flap (2 s outage,
+    // injected through the fault plan rather than by poking the loss
+    // model) must not deadlock the sender. RTO backoff rides out the
+    // outage and the flow re-attains at least 80% of its pre-flap goodput
+    // once the link returns.
+    let (mut sim, spec) = paper_sim(100, 2.0, 30, 1);
+    let flow = add_tcp(&mut sim, &spec, 0, CcaKind::Cubic);
+    let bn = sim.topology().bottleneck_link().unwrap();
+    sim.install_fault_plan(
+        bn,
+        &FaultPlan::flap(SimDuration::from_secs(10), SimDuration::from_secs(2)),
+    );
+    let delivered = |sim: &Simulator| {
+        sim.receiver(flow).as_any().downcast_ref::<TcpReceiver>().unwrap().delivered_bytes()
+    };
+
+    // Pre-flap goodput over t = 5..10 s (past slow start).
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    let rx5 = delivered(&sim);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+    let rx10 = delivered(&sim);
+    let pre_mbps = (rx10 - rx5) as f64 * 8.0 / 5.0 / 1e6;
+
+    // Ride through the outage plus RTO-backoff recovery, then measure the
+    // final five seconds.
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(25));
+    let rx25 = delivered(&sim);
+    sim.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+    let rx30 = delivered(&sim);
+    let post_mbps = (rx30 - rx25) as f64 * 8.0 / 5.0 / 1e6;
+
+    let sender = sim.sender(flow).as_any().downcast_ref::<TcpSender>().unwrap();
+    assert!(sender.report().rto_count >= 1, "a 2 s outage must trigger at least one RTO");
+    assert!(pre_mbps > 50.0, "sanity: healthy pre-flap goodput, got {pre_mbps:.1} Mbps");
+    assert!(
+        post_mbps >= 0.8 * pre_mbps,
+        "flow must re-attain >=80% of pre-flap goodput: {post_mbps:.1} vs {pre_mbps:.1} Mbps"
+    );
+    let stats = sim.topology().link(bn).stats();
+    assert!(stats.down_drops > 0, "packets offered during the outage are destroyed and counted");
+    assert_eq!(stats.fault_events_applied, 2, "LinkDown + LinkUp both dispatched");
 }
 
 #[test]

@@ -10,14 +10,20 @@
 #   scripts/ci.sh --bench-smoke  also run every bench in one-shot `--test`
 #                                mode (one iteration, no timing) to catch
 #                                bench-code rot without measurement cost
+#   scripts/ci.sh --fault-smoke  also run one link-flap and one
+#                                variable-loss scenario through the
+#                                fault-tolerant sweep binary in quick mode
+#                                and assert zero failed cells
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
+fault_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
+    --fault-smoke) fault_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -28,4 +34,23 @@ cargo test -q --offline
 
 if [[ "$bench_smoke" -eq 1 ]]; then
   cargo bench --offline -p elephants-bench -- --test
+fi
+
+if [[ "$fault_smoke" -eq 1 ]]; then
+  # Two anomaly scenarios on a tiny grid: a mid-run bottleneck flap and
+  # Gilbert-Elliott variable loss. Each must complete with zero failed
+  # cells — the watchdogs and panic isolation exist for real failures,
+  # not for routine fault injection.
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+  for knobs in "--flap 1.5,0.4" "--loss ge:0.002,0.2"; do
+    # shellcheck disable=SC2086  # knobs is deliberately word-split
+    summary="$(cargo run --release --offline -p elephants-experiments --bin sweep -- \
+      --quick --bw 100M --limit 2 --no-cache --out "$out_dir" $knobs 2>&1 | \
+      tee /dev/stderr | grep 'failed_cells:')"
+    if ! grep -q 'failed_cells: 0 ' <<<"$summary"; then
+      echo "fault smoke ($knobs) reported failed cells: $summary" >&2
+      exit 1
+    fi
+  done
 fi

@@ -10,9 +10,11 @@
 
 use elephants::cca::CcaKind;
 use elephants::experiments::{
-    par_map_with_workers, run_scenario, run_scenario_traced, RunOptions, ScenarioConfig,
+    par_map_with_workers, run_scenario, run_scenario_traced, try_sweep_with_workers, RunCache,
+    RunOptions, ScenarioConfig,
 };
 use elephants::json::ToJson;
+use elephants::netsim::{FaultPlan, LossModel};
 use elephants::{AqmKind, SimDuration};
 
 fn dumbbell_cfg(seed: u64) -> ScenarioConfig {
@@ -61,8 +63,10 @@ fn sweep_json_is_identical_across_worker_counts() {
         .collect();
 
     let sweep_json = |workers: usize| -> String {
-        par_map_with_workers(&work, workers, |&(i, seed)| run_scenario(&grid[i], seed))
-            .to_json_string()
+        par_map_with_workers(&work, workers, |&(i, seed)| {
+            run_scenario(&grid[i], seed).expect("run must succeed")
+        })
+        .to_json_string()
     };
 
     let serial = sweep_json(1);
@@ -72,6 +76,40 @@ fn sweep_json_is_identical_across_worker_counts() {
         assert_eq!(
             serial, parallel,
             "sweep results must be byte-identical regardless of worker count ({workers})"
+        );
+    }
+}
+
+/// Determinism must survive fault injection: a scenario with a mid-run
+/// link flap *and* Gilbert–Elliott burst loss exercises the fault
+/// scheduler and the impairment RNG, and the sweep output must still be a
+/// pure function of `(config, seed)` — byte-identical across worker
+/// counts and across reruns.
+#[test]
+fn faulted_sweep_json_is_identical_across_worker_counts() {
+    let opts = RunOptions::quick();
+    let mut flapped =
+        ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000, &opts);
+    flapped.faults =
+        FaultPlan::flap(SimDuration::from_millis(1500), SimDuration::from_millis(400));
+    let mut lossy =
+        ScenarioConfig::new(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000, &opts);
+    lossy.loss = LossModel::GilbertElliott { p_gb: 0.002, p_bg: 0.2 };
+    let grid = [flapped, lossy];
+
+    let sweep_json = |workers: usize| -> String {
+        let out = try_sweep_with_workers(&grid, 2, &RunCache::disabled(), workers);
+        assert!(out.failed.is_empty(), "faulted grid must still complete: {:?}", out.failed);
+        out.results.iter().flat_map(|a| a.runs.iter().cloned()).collect::<Vec<_>>().to_json_string()
+    };
+
+    let serial = sweep_json(1);
+    assert!(!serial.is_empty());
+    for workers in [2, 0, 1] {
+        let rerun = sweep_json(workers);
+        assert_eq!(
+            serial, rerun,
+            "faulted sweep must be byte-identical regardless of worker count ({workers})"
         );
     }
 }

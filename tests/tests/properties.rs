@@ -212,8 +212,8 @@ fn simulation_is_deterministic() {
             100_000_000,
             &RunOptions::quick(),
         );
-        let a = run_scenario(&cfg, seed);
-        let b = run_scenario(&cfg, seed);
+        let a = run_scenario(&cfg, seed).expect("run must succeed");
+        let b = run_scenario(&cfg, seed).expect("run must succeed");
         prop_check_eq!(a.events, b.events);
         prop_check_eq!(a.sender_mbps, b.sender_mbps);
         prop_check_eq!(a.retransmits, b.retransmits);
