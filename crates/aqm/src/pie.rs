@@ -227,6 +227,10 @@ impl Aqm for Pie {
     fn name(&self) -> &'static str {
         "pie"
     }
+
+    fn control_state(&self) -> Option<f64> {
+        Some(self.drop_probability())
+    }
 }
 
 #[cfg(test)]

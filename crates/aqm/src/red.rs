@@ -272,6 +272,10 @@ impl Aqm for Red {
     fn name(&self) -> &'static str {
         "red"
     }
+
+    fn control_state(&self) -> Option<f64> {
+        Some(self.avg_queue())
+    }
 }
 
 #[cfg(test)]

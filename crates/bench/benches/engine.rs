@@ -6,7 +6,7 @@ use elephants_bench::bench_scenario;
 use elephants_bench::harness::{BenchmarkId, Criterion, Throughput};
 use elephants_bench::criterion_group;
 use elephants_cca::CcaKind;
-use elephants_experiments::run_scenario;
+use elephants_experiments::Runner;
 use elephants_netsim::{Event, EventQueue, FlowId, NodeId, Packet, SimTime, TimerKind};
 use elephants_netsim::{SeedableRng, SmallRng};
 
@@ -71,7 +71,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
     for (name, cca) in [("cubic", CcaKind::Cubic), ("bbr2", CcaKind::BbrV2)] {
         g.bench_function(format!("2s_100mbps_{name}"), |b| {
             let cfg = bench_scenario(cca, CcaKind::Cubic, AqmKind::Fifo, 2.0);
-            b.iter(|| run_scenario(&cfg, 1));
+            b.iter(|| Runner::new(&cfg).seed(1).run());
         });
     }
     g.finish();
@@ -84,7 +84,7 @@ fn bench_regression(c: &mut Criterion) {
     g.sample_size(5);
     g.bench_function("25gbps_fifo_quick", |b| {
         let cfg = elephants_bench::regression_scenario();
-        b.iter(|| run_scenario(&cfg, 1));
+        b.iter(|| Runner::new(&cfg).seed(1).run());
     });
     g.finish();
 }

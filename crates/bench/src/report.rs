@@ -9,7 +9,7 @@
 
 use crate::harness::Criterion;
 use crate::regression_scenario;
-use elephants_experiments::run_scenario;
+use elephants_experiments::Runner;
 use elephants_json::{impl_json_struct, FromJson, ToJson};
 use std::path::PathBuf;
 
@@ -80,7 +80,11 @@ pub fn default_report_path() -> PathBuf {
 /// Build the trajectory entry for the regression scenario from the measured
 /// median and one counting run (events processed + peak queue depth).
 pub fn measure_entry(label: String, median_ns: f64) -> BenchEntry {
-    let probe = run_scenario(&regression_scenario(), 1).expect("regression scenario must run");
+    let probe = Runner::new(&regression_scenario())
+        .seed(1)
+        .run()
+        .expect("regression scenario must run")
+        .into_first();
     BenchEntry {
         label,
         events_per_sec: probe.events as f64 / (median_ns / 1e9),

@@ -10,7 +10,7 @@
 //! State machine: `Startup → Drain → ProbeBW ⇄ ProbeRTT`.
 
 use crate::filters::WindowedMaxByRound;
-use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
+use crate::{AckEvent, CcaState, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
 use elephants_json::impl_json_struct;
 
@@ -389,6 +389,30 @@ impl CongestionControl for BbrV1 {
 
     fn bw_estimate(&self) -> Option<u64> {
         self.bw_filter.get()
+    }
+
+    fn state_snapshot(&self) -> CcaState {
+        // ProbeBW labels carry the gain phase so a recorded series exposes
+        // the 8-phase cycle (1.25 up-probe -> 0.75 drain -> 6x cruise):
+        // counting "probe_bw:1.25" entries counts ProbeBW cycles.
+        let phase = match self.mode {
+            BbrMode::Startup => "startup",
+            BbrMode::Drain => "drain",
+            BbrMode::ProbeRtt => "probe_rtt",
+            BbrMode::ProbeBw => match PROBE_BW_GAINS[self.cycle_index] {
+                g if g > 1.0 => "probe_bw:1.25",
+                g if g < 1.0 => "probe_bw:0.75",
+                _ => "probe_bw:1.00",
+            },
+        };
+        CcaState {
+            phase,
+            cwnd: self.cwnd,
+            ssthresh: u64::MAX,
+            pacing_rate: self.pacing_rate(),
+            bw_estimate: self.bw_filter.get(),
+            pacing_gain: Some(self.pacing_gain),
+        }
     }
 }
 

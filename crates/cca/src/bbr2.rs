@@ -16,7 +16,7 @@
 //!   with 15 % headroom below `inflight_hi`.
 
 use crate::filters::WindowedMaxByRound;
-use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
+use crate::{AckEvent, CcaState, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
 use elephants_json::impl_json_struct;
 
@@ -574,6 +574,28 @@ impl CongestionControl for BbrV2 {
 
     fn bw_estimate(&self) -> Option<u64> {
         self.bw_filter.get()
+    }
+
+    fn state_snapshot(&self) -> CcaState {
+        let phase = match self.mode {
+            Bbr2Mode::Startup => "startup",
+            Bbr2Mode::Drain => "drain",
+            Bbr2Mode::ProbeRtt => "probe_rtt",
+            Bbr2Mode::ProbeBw => match self.phase {
+                ProbePhase::Down => "probe_bw:down",
+                ProbePhase::Cruise => "probe_bw:cruise",
+                ProbePhase::Refill => "probe_bw:refill",
+                ProbePhase::Up => "probe_bw:up",
+            },
+        };
+        CcaState {
+            phase,
+            cwnd: self.cwnd,
+            ssthresh: u64::MAX,
+            pacing_rate: self.pacing_rate(),
+            bw_estimate: self.bw_filter.get(),
+            pacing_gain: Some(self.pacing_gain),
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //! loss occurred (`W_max`). It is the Linux default and the paper's
 //! reference competitor in every inter-CCA experiment.
 
-use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
+use crate::{AckEvent, CcaState, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
 use elephants_json::impl_json_struct;
 
@@ -268,6 +268,17 @@ impl CongestionControl for Cubic {
 
     fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
+    }
+
+    fn state_snapshot(&self) -> CcaState {
+        CcaState {
+            phase: if self.in_slow_start() { "slow_start" } else { "cubic" },
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            pacing_rate: None,
+            bw_estimate: None,
+            pacing_gain: None,
+        }
     }
 }
 

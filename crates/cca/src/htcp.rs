@@ -8,7 +8,7 @@
 //! on: as FIFO bufferbloat inflates `RTT_max`, β falls toward 0.5 and H-TCP
 //! cedes buffer space that CUBIC then occupies (paper §5.1).
 
-use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
+use crate::{AckEvent, CcaState, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use elephants_netsim::{SimDuration, SimTime};
 use elephants_json::impl_json_struct;
 
@@ -224,6 +224,17 @@ impl CongestionControl for Htcp {
 
     fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
+    }
+
+    fn state_snapshot(&self) -> CcaState {
+        CcaState {
+            phase: if self.in_slow_start() { "slow_start" } else { "htcp" },
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            pacing_rate: None,
+            bw_estimate: None,
+            pacing_gain: None,
+        }
     }
 }
 

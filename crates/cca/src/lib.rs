@@ -24,7 +24,7 @@ pub mod filters;
 pub mod htcp;
 pub mod reno;
 
-pub use bbr1::{BbrV1, BbrV1Config};
+pub use bbr1::{BbrV1, BbrV1Config, PROBE_BW_GAINS};
 pub use bbr2::{BbrV2, BbrV2Config};
 pub use cubic::{Cubic, CubicConfig};
 pub use filters::{WindowedMaxByRound, WindowedMinByTime};
@@ -123,6 +123,42 @@ pub trait CongestionControl: Send {
     fn bw_estimate(&self) -> Option<u64> {
         None
     }
+
+    /// Telemetry snapshot for the flight recorder.
+    ///
+    /// Must be a pure read — no state mutation. The default derives a
+    /// generic `"slow_start"`/`"avoidance"` phase from [`Self::in_slow_start`];
+    /// implementations override it with their real phase machine (BBR
+    /// encodes the ProbeBW pacing gain in the label, e.g. `"probe_bw:1.25"`,
+    /// so cycle transitions are countable from a recorded series).
+    fn state_snapshot(&self) -> CcaState {
+        CcaState {
+            phase: if self.in_slow_start() { "slow_start" } else { "avoidance" },
+            cwnd: self.cwnd(),
+            ssthresh: self.ssthresh(),
+            pacing_rate: self.pacing_rate(),
+            bw_estimate: self.bw_estimate(),
+            pacing_gain: None,
+        }
+    }
+}
+
+/// One telemetry read-out of a congestion controller (see
+/// [`CongestionControl::state_snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcaState {
+    /// Phase label; stable strings, suitable for serialization.
+    pub phase: &'static str,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Slow-start threshold, bytes (`u64::MAX` when untouched).
+    pub ssthresh: u64,
+    /// Pacing rate, bits/s (`None` = ACK-clocked).
+    pub pacing_rate: Option<u64>,
+    /// Bottleneck-bandwidth estimate, bits/s (model-based CCAs).
+    pub bw_estimate: Option<u64>,
+    /// Current pacing gain (BBR), if the CCA uses one.
+    pub pacing_gain: Option<f64>,
 }
 
 /// Which congestion controller to instantiate.

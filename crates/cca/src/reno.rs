@@ -1,6 +1,6 @@
 //! TCP Reno (RFC 5681): slow start, AIMD congestion avoidance.
 
-use crate::{AckEvent, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
+use crate::{AckEvent, CcaState, CongestionControl, LossEvent, INITIAL_CWND_SEGMENTS, MIN_CWND_SEGMENTS};
 use elephants_netsim::SimTime;
 
 /// TCP Reno congestion control.
@@ -89,6 +89,17 @@ impl CongestionControl for Reno {
 
     fn in_slow_start(&self) -> bool {
         self.cwnd < self.ssthresh
+    }
+
+    fn state_snapshot(&self) -> CcaState {
+        CcaState {
+            phase: if self.in_slow_start() { "slow_start" } else { "avoidance" },
+            cwnd: self.cwnd,
+            ssthresh: self.ssthresh,
+            pacing_rate: None,
+            bw_estimate: None,
+            pacing_gain: None,
+        }
     }
 }
 

@@ -18,7 +18,9 @@
 //! * [`workload`] — iperf3-style flow scaling (paper Table 2);
 //! * [`metrics`] — Jain index, utilization φ, relative retransmissions;
 //! * [`experiments`] — the Table 1 grid, parallel sweeps, and one
-//!   regeneration entry point per paper figure/table.
+//!   regeneration entry point per paper figure/table;
+//! * [`telemetry`] — the flight recorder: versioned per-run dynamics
+//!   artifacts (cwnd/queue time series) behind the paper-style figures.
 //!
 //! ## Quickstart
 //!
@@ -47,11 +49,12 @@ pub use elephants_experiments as experiments;
 pub use elephants_metrics as metrics;
 pub use elephants_netsim as netsim;
 pub use elephants_tcp as tcp;
+pub use elephants_telemetry as telemetry;
 pub use elephants_workload as workload;
 
 pub use elephants_aqm::AqmKind;
 pub use elephants_cca::CcaKind;
-pub use elephants_experiments::{RunOptions, RunResult, ScenarioConfig};
+pub use elephants_experiments::{Recording, RunOptions, RunOutcome, RunResult, Runner, ScenarioConfig};
 pub use elephants_netsim::{Bandwidth, SimDuration, SimTime};
 
 use elephants_experiments::DurationPreset;
@@ -237,7 +240,11 @@ impl FairnessStudy {
 
     /// Execute the study (repeats are averaged).
     pub fn run(&self) -> StudyOutcome {
-        let avg = elephants_experiments::run_averaged(&self.config, self.repeats);
+        let avg = elephants_experiments::Runner::new(&self.config)
+            .repeats(self.repeats)
+            .run()
+            .unwrap_or_else(|e| panic!("run failed ({}): {e}", self.config.label()))
+            .into_averaged();
         StudyOutcome {
             sender1_mbps: avg.sender_mbps.first().copied().unwrap_or(0.0),
             sender2_mbps: avg.sender_mbps.get(1).copied().unwrap_or(0.0),

@@ -7,7 +7,6 @@
 //! `cargo run --release -p elephants-experiments --bin aqm_frontier`
 
 use elephants_experiments::prelude::*;
-use elephants_experiments::run_scenario;
 
 fn main() {
     let cli = Cli::parse();
@@ -16,8 +15,11 @@ fn main() {
     for &bw in &cli.bws {
         for aqm in aqms {
             let cfg = ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, aqm, 2.0, bw, &cli.opts);
-            let r = run_scenario(&cfg, cli.opts.seed)
-                .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
+            let r = Runner::new(&cfg)
+                .seed(cli.opts.seed)
+                .run()
+                .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
+                .into_first();
             t.row(vec![
                 bw_label(bw),
                 aqm.name().to_string(),

@@ -1,11 +1,16 @@
-//! Probe a single scenario cell and print its raw metrics.
+//! Probe a single scenario cell: print its raw metrics and, with
+//! `--record`, write a flight record plus dynamics figures and verify the
+//! artifact parses back.
 //!
 //! Usage:
 //! `cargo run --release -p elephants-experiments --bin probe -- \
-//!    --cca1 bbr1 --cca2 cubic --aqm fq_codel --queue 2 --bw1 100M --secs 20`
+//!    --cca1 bbr1 --cca2 cubic --aqm fq_codel --queue 2 --bw1 100M --secs 20 \
+//!    --record flows,queue,events --sample-interval 10 --out results`
 
 use elephants_experiments::prelude::*;
+use elephants_experiments::runner::DEFAULT_SAMPLE_INTERVAL;
 use elephants_netsim::SimDuration;
+use elephants_telemetry::FlightRecord;
 
 fn main() {
     let mut cca1 = CcaKind::Cubic;
@@ -16,6 +21,9 @@ fn main() {
     let mut secs = 20u64;
     let mut seed = 1u64;
     let mut scale = 1.0f64;
+    let mut out_dir = "results".to_string();
+    let mut record: Option<Recording> = None;
+    let mut interval = DEFAULT_SAMPLE_INTERVAL;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -38,17 +46,31 @@ fn main() {
             "--secs" => secs = val().parse().unwrap(),
             "--seed" => seed = val().parse().unwrap(),
             "--scale" => scale = val().parse().unwrap(),
+            "--out" => out_dir = val(),
+            "--record" => record = Some(Recording::parse(&val()).unwrap()),
+            "--sample-interval" => {
+                let ms: f64 = val().parse().unwrap();
+                assert!(ms > 0.0, "--sample-interval must be positive");
+                interval = SimDuration::from_secs_f64(ms / 1e3);
+            }
             other => panic!("unknown flag {other}"),
         }
     }
 
     let opts = RunOptions { seed, flow_scale: scale, ..RunOptions::standard() };
-    let mut cfg = ScenarioConfig::new(cca1, cca2, aqm, queue, bw, &opts);
-    cfg.duration = SimDuration::from_secs(secs);
-    cfg.warmup = cfg.duration.mul_f64(0.25);
+    let cfg = ScenarioConfig::builder(cca1, cca2, aqm, queue, bw, &opts)
+        .duration(SimDuration::from_secs(secs))
+        .build()
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
 
-    let r = run_scenario(&cfg, seed)
-        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
+    let mut runner = Runner::new(&cfg).seed(seed);
+    if let Some(rec) = record {
+        runner = runner.recorder(rec.interval(interval).out_dir(format!("{out_dir}/records")));
+    }
+    let r = runner
+        .run()
+        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
+        .into_first();
     println!("{}", cfg.label());
     println!("  flows        : {}", r.flows);
     println!("  sender1      : {:.2} Mbps ({})", r.sender_mbps[0], cca1.pretty());
@@ -59,4 +81,31 @@ fn main() {
     println!("  rtos         : {}", r.rtos);
     println!("  drops        : {}", r.drops);
     println!("  events       : {}", r.events);
+
+    // Close the loop on the artifact: read it back through the versioned
+    // parser so a schema regression fails here, not in a notebook later.
+    if let Some(path) = r.record_path.as_deref() {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading flight record {path}: {e}"));
+        let rec = FlightRecord::parse(&text)
+            .unwrap_or_else(|e| panic!("flight record {path} failed to parse back: {e}"));
+        println!(
+            "  record       : {path} (v{}, {} flow samples, {} queue samples, {} events{})",
+            rec.schema_version,
+            rec.flow_samples.len(),
+            rec.queue_samples.len(),
+            rec.events.len(),
+            if rec.events_truncated > 0 {
+                format!(", {} truncated", rec.events_truncated)
+            } else {
+                String::new()
+            },
+        );
+        for flow in rec.flow_ids() {
+            let cycles = rec.probe_bw_cycles(flow);
+            if cycles > 0 {
+                println!("  probe_bw     : flow {flow} completed {cycles} ProbeBW cycles");
+            }
+        }
+    }
 }

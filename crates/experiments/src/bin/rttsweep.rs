@@ -6,28 +6,36 @@
 //! `cargo run --release -p elephants-experiments --bin rttsweep`
 
 use elephants_experiments::prelude::*;
-use elephants_experiments::run_scenario;
 use elephants_netsim::SimDuration;
 
 fn main() {
     let cli = Cli::parse();
     let mut t = TextTable::new(vec!["rtt_ms", "bbr1_mbps", "cubic_mbps", "jain", "phi"]);
     for rtt_ms in [12u64, 32, 62, 124, 248] {
-        let mut cfg = ScenarioConfig::new(
+        // Scale the run length with the RTT so each sees a similar number
+        // of round trips.
+        let cfg = ScenarioConfig::builder(
             CcaKind::BbrV1,
             CcaKind::Cubic,
             AqmKind::Fifo,
             2.0,
             100_000_000,
             &cli.opts,
-        );
-        cfg.rtt_ms = rtt_ms;
-        // Scale the run length with the RTT so each sees a similar number
-        // of round trips.
-        cfg.duration = SimDuration::from_millis((rtt_ms * 800).max(20_000));
-        cfg.warmup = cfg.duration.mul_f64(0.25);
-        let r = run_scenario(&cfg, cli.opts.seed)
-            .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
+        )
+        .rtt_ms(rtt_ms)
+        .duration(SimDuration::from_millis((rtt_ms * 800).max(20_000)))
+        .build()
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        let mut runner = Runner::new(&cfg).seed(cli.opts.seed);
+        if rtt_ms == 62 {
+            if let Some(rec) = cli.record.clone() {
+                runner = runner.recorder(rec);
+            }
+        }
+        let r = runner
+            .run()
+            .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
+            .into_first();
         t.row(vec![
             format!("{rtt_ms}"),
             format!("{:.1}", r.sender_mbps[0]),

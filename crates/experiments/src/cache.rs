@@ -18,7 +18,7 @@
 //!   sweep summaries) instead of being swallowed: a full disk should not
 //!   masquerade as a cold cache.
 
-use crate::runner::{run_scenario_with_wall_limit, RunError, RunResult};
+use crate::runner::{RunError, RunResult};
 use crate::scenario::ScenarioConfig;
 use elephants_json::{FromJson, ToJson};
 use std::path::{Path, PathBuf};
@@ -27,7 +27,7 @@ use std::time::Duration;
 
 /// Version stamp embedded in every cache filename. Bump when the
 /// `RunResult` JSON schema (or the meaning of any field) changes.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Cache writes that failed (IO errors on create/write).
 static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);
@@ -122,7 +122,8 @@ impl RunCache {
         if let Some(hit) = self.get(cfg, seed) {
             return Ok(hit);
         }
-        let result = run_scenario_with_wall_limit(cfg, seed, wall_limit)?;
+        let result =
+            crate::runner::Runner::new(cfg).seed(seed).wall_limit(wall_limit).run()?.into_first();
         self.put(cfg, seed, &result);
         Ok(result)
     }

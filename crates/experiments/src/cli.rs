@@ -13,8 +13,12 @@
 //!   `ge:P_GB,P_BG` (Gilbert–Elliott)
 //! * `--flap START,DUR` — take the bottleneck down at `START` seconds for
 //!   `DUR` seconds (simulated time)
+//! * `--record CHANNELS` — attach the flight recorder to the base-seed run:
+//!   a comma-separated subset of `flows`, `queue`, `events`
+//! * `--sample-interval MS` — flight-recorder sample spacing in ms
 
 use crate::cache::RunCache;
+use crate::runner::Recording;
 use crate::scenario::{DurationPreset, RunOptions, ScenarioConfig, PAPER_BWS};
 use elephants_netsim::{FaultPlan, LossModel, SimDuration};
 
@@ -35,6 +39,8 @@ pub struct Cli {
     pub faults: FaultPlan,
     /// Keep only the first N grid configs (smoke runs; `None` = all).
     pub limit: Option<usize>,
+    /// Flight recording requested with `--record` (`None` = don't record).
+    pub record: Option<Recording>,
 }
 
 fn parse_loss(s: &str) -> Result<LossModel, String> {
@@ -98,6 +104,8 @@ impl Cli {
         let mut loss = LossModel::None;
         let mut faults = FaultPlan::none();
         let mut limit = None;
+        let mut record: Option<Recording> = None;
+        let mut sample_interval: Option<SimDuration> = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -133,12 +141,31 @@ impl Cli {
                     }
                     limit = Some(n);
                 }
+                "--record" => record = Some(Recording::parse(&need("--record")?)?),
+                "--sample-interval" => {
+                    let ms: f64 = need("--sample-interval")?
+                        .parse()
+                        .map_err(|e| format!("bad --sample-interval: {e}"))?;
+                    if ms <= 0.0 || !ms.is_finite() {
+                        return Err("--sample-interval must be positive".into());
+                    }
+                    sample_interval = Some(SimDuration::from_secs_f64(ms / 1e3));
+                }
                 "--help" | "-h" => return Err(HELP.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{HELP}")),
             }
         }
         let cache = if use_cache { RunCache::new(format!("{out_dir}/cache")) } else { RunCache::disabled() };
-        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit })
+        if let Some(interval) = sample_interval {
+            match record.take() {
+                Some(rec) => record = Some(rec.interval(interval)),
+                None => return Err("--sample-interval requires --record".into()),
+            }
+        }
+        if let Some(rec) = record.take() {
+            record = Some(rec.out_dir(format!("{out_dir}/records")));
+        }
+        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record })
     }
 
     /// Copy the CLI's fault knobs (`--loss`, `--flap`) into a scenario and
@@ -166,7 +193,8 @@ const HELP: &str = "\
 usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
                        [--bw 100M,1G,25G] [--no-cache] [--out DIR]
                        [--loss none|bernoulli:P|ge:P_GB,P_BG] [--flap START,DUR]
-                       [--limit N]";
+                       [--limit N] [--record flows[,queue,events]]
+                       [--sample-interval MS]";
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +263,22 @@ mod tests {
         assert!(parse(&["--flap", "2"]).is_err());
         assert!(parse(&["--flap", "-1,2"]).is_err());
         assert!(parse(&["--flap", "1,0"]).is_err());
+    }
+
+    #[test]
+    fn record_flag_builds_a_recording() {
+        assert!(parse(&[]).unwrap().record.is_none());
+        let cli = parse(&["--record", "flows,queue", "--out", "o"]).unwrap();
+        let rec = cli.record.unwrap();
+        assert!(rec.flows && rec.queue && !rec.events);
+        assert_eq!(rec.out_dir, std::path::PathBuf::from("o/records"));
+        assert_eq!(rec.interval, crate::runner::DEFAULT_SAMPLE_INTERVAL);
+
+        let cli = parse(&["--record", "flows", "--sample-interval", "50"]).unwrap();
+        assert_eq!(cli.record.unwrap().interval, SimDuration::from_millis(50));
+        assert!(parse(&["--record", "nope"]).is_err());
+        assert!(parse(&["--sample-interval", "50"]).is_err(), "needs --record");
+        assert!(parse(&["--record", "flows", "--sample-interval", "0"]).is_err());
     }
 
     #[test]

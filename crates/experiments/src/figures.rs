@@ -363,7 +363,7 @@ pub fn table3(opts: &RunOptions, cache: &RunCache, bws: &[u64], queues: &[f64]) 
                     r.retransmits.round() as u64,
                     ref_r.retransmits.round() as u64,
                 );
-                if rr.is_finite() {
+                if elephants_metrics::rr_is_defined(rr) {
                     rr_sum += rr;
                     rr_n += 1.0;
                 }

@@ -33,13 +33,15 @@ pub use figures::{
     FIGURE_BUFFERS_BDP,
 };
 pub use report::{bw_label, TextTable};
+#[allow(deprecated)]
+pub use runner::{run_averaged, run_scenario, run_scenario_with_wall_limit};
 pub use runner::{
-    run_averaged, run_scenario, run_scenario_with_wall_limit, AveragedResult, RunError,
-    RunErrorKind, RunResult, DEFAULT_WALL_LIMIT,
+    emit_dynamics_figures, AveragedResult, Recording, RunError, RunErrorKind, RunOutcome,
+    RunResult, Runner, DEFAULT_SAMPLE_INTERVAL, DEFAULT_WALL_LIMIT,
 };
 pub use scenario::{
-    paper_grid, paper_pairs, DurationPreset, RunOptions, ScenarioConfig, INTER_PAIRS, INTRA_PAIRS,
-    PAPER_BWS, PAPER_MSS, PAPER_QUEUES_BDP,
+    paper_grid, paper_pairs, DurationPreset, RunOptions, ScenarioBuilder, ScenarioConfig,
+    INTER_PAIRS, INTRA_PAIRS, PAPER_BWS, PAPER_MSS, PAPER_QUEUES_BDP,
 };
 pub use svg::{line_chart, write_chart, ChartSpec, Series};
 pub use sweep::{
@@ -54,7 +56,9 @@ pub mod prelude {
     pub use crate::cli::Cli;
     pub use crate::figures::*;
     pub use crate::report::{bw_label, TextTable};
-    pub use crate::runner::{run_averaged, run_scenario, RunError, RunErrorKind};
+    #[allow(deprecated)]
+    pub use crate::runner::{run_averaged, run_scenario};
+    pub use crate::runner::{Recording, RunError, RunErrorKind, RunOutcome, Runner};
     pub use crate::scenario::*;
     pub use crate::sweep::{
         sweep, sweep_with_progress, try_sweep, try_sweep_with_progress, FailedRun, SweepOutput,

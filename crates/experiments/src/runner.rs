@@ -1,18 +1,42 @@
 //! Build and execute one scenario in the simulator.
+//!
+//! The entrypoint is the [`Runner`] builder:
+//!
+//! ```no_run
+//! use elephants_experiments::prelude::*;
+//! use elephants_experiments::runner::Runner;
+//!
+//! let cfg = ScenarioConfig::new(
+//!     CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 2.0, 1_000_000_000,
+//!     &RunOptions::standard(),
+//! );
+//! let outcome = Runner::new(&cfg).seed(7).repeats(3).run().unwrap();
+//! println!("J = {}", outcome.averaged().jain);
+//! ```
+//!
+//! Attaching a [`Recording`] makes the base-seed run write a versioned
+//! [`FlightRecord`] (per-flow cwnd/pacing/srtt series, bottleneck-queue
+//! series, optional packet trace) plus SVG dynamics figures, without
+//! changing any metric of the run — the recorder is a pure observer.
 
 use crate::scenario::ScenarioConfig;
 use elephants_aqm::build_aqm;
 use elephants_cca::build_cca_seeded;
 
-use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator};
+use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
+use elephants_metrics::{RunMetrics, SenderThroughput};
+use elephants_netsim::{
+    DumbbellSpec, RecorderConfig, SimConfig, SimDuration, SimTime, Simulator,
+};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
+use elephants_telemetry::{FlightRecord, FlightRecorder};
 use elephants_workload::plan_flows;
-use elephants_json::{impl_json_struct, impl_json_unit_enum};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How many runs had a degenerate (zero-width) measurement window clamped
-/// away (see [`run_scenario`]). A nonzero value means some scenario was
+/// away (see [`Runner::run`]). A nonzero value means some scenario was
 /// configured with `warmup >= duration`.
 static DEGENERATE_WINDOW_RUNS: AtomicU64 = AtomicU64::new(0);
 
@@ -32,9 +56,11 @@ pub enum RunErrorKind {
     WallClock,
     /// The config failed validation before the simulator was built.
     InvalidConfig,
+    /// Writing a recording artifact (flight record, SVG) failed.
+    Io,
 }
 
-impl_json_unit_enum!(RunErrorKind { Panic, EventBudget, WallClock, InvalidConfig });
+impl_json_unit_enum!(RunErrorKind { Panic, EventBudget, WallClock, InvalidConfig, Io });
 
 /// A failed run: what class of failure, plus a human-readable detail
 /// (panic payload, budget numbers, validation message).
@@ -55,10 +81,11 @@ impl RunError {
     }
 
     /// Whether a retry could plausibly succeed: wall-clock overruns depend
-    /// on machine load, while the other classes are deterministic in
-    /// `(config, seed)` and would fail identically again.
+    /// on machine load and IO errors on the filesystem, while the other
+    /// classes are deterministic in `(config, seed)` and would fail
+    /// identically again.
     pub fn is_retryable(&self) -> bool {
-        self.kind == RunErrorKind::WallClock
+        self.kind == RunErrorKind::WallClock || self.kind == RunErrorKind::Io
     }
 }
 
@@ -72,6 +99,103 @@ impl std::fmt::Display for RunError {
 /// the full paper grid takes a couple of minutes on one core; ten is a
 /// hung simulation.
 pub const DEFAULT_WALL_LIMIT: Duration = Duration::from_secs(600);
+
+/// Default flight-recorder sample spacing (10 ms ≈ 6 samples per 62 ms RTT:
+/// fine enough to resolve BBR's 8-phase ProbeBW cycle and CUBIC's sawtooth,
+/// coarse enough that an hour of simulated time stays a few MB of JSON).
+pub const DEFAULT_SAMPLE_INTERVAL: SimDuration = SimDuration::from_millis(10);
+
+/// Default capacity of the bounded per-packet trace ring.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// What the flight recorder should capture during a run.
+///
+/// Build one with [`Recording::flows_only`] or parse the CLI spelling
+/// (`--record flows,queue,events`) with [`Recording::parse`], then chain
+/// setters. Attach it to a [`Runner`]; only the base-seed run records
+/// (repeats stay cheap), and recording never changes the run's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recording {
+    /// Sample per-flow cwnd/pacing/srtt/phase series.
+    pub flows: bool,
+    /// Sample the bottleneck queue (depth, drops, AQM control variable).
+    pub queue: bool,
+    /// Capture the bounded per-packet event trace at the bottleneck.
+    pub events: bool,
+    /// Sample spacing for the flow/queue series.
+    pub interval: SimDuration,
+    /// Ring capacity for the event trace; when it fills, later events are
+    /// counted as truncated rather than recorded (keep-first semantics, so
+    /// slow start and the first loss epoch survive verbatim).
+    pub event_capacity: usize,
+    /// Directory the flight record (and figures) are written into.
+    pub out_dir: PathBuf,
+    /// Also emit SVG dynamics figures (cwnd-vs-time, queue-vs-time).
+    pub svg: bool,
+}
+
+impl Recording {
+    /// Record only the per-flow series — the cheapest useful recording.
+    pub fn flows_only() -> Self {
+        Recording {
+            flows: true,
+            queue: false,
+            events: false,
+            interval: DEFAULT_SAMPLE_INTERVAL,
+            event_capacity: DEFAULT_TRACE_CAPACITY,
+            out_dir: PathBuf::from("out/records"),
+            svg: true,
+        }
+    }
+
+    /// Parse the CLI spelling: a comma-separated subset of
+    /// `flows`, `queue`, `events` (e.g. `"flows,queue"`).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut rec = Recording { flows: false, ..Recording::flows_only() };
+        for part in spec.split(',') {
+            match part.trim() {
+                "flows" => rec.flows = true,
+                "queue" => rec.queue = true,
+                "events" => rec.events = true,
+                other => {
+                    return Err(format!(
+                        "unknown --record channel {other:?} (expected flows, queue, events)"
+                    ))
+                }
+            }
+        }
+        if !(rec.flows || rec.queue || rec.events) {
+            return Err("empty --record spec: nothing to capture".to_string());
+        }
+        Ok(rec)
+    }
+
+    /// Override the sample spacing.
+    pub fn interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sample interval must be nonzero");
+        self.interval = interval;
+        self
+    }
+
+    /// Override the event-trace ring capacity.
+    pub fn event_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be nonzero");
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Override the output directory.
+    pub fn out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = dir.into();
+        self
+    }
+
+    /// Enable or disable SVG figure emission.
+    pub fn svg(mut self, svg: bool) -> Self {
+        self.svg = svg;
+        self
+    }
+}
 
 /// Result of a single (config, seed) run.
 #[derive(Debug, Clone)]
@@ -92,10 +216,13 @@ pub struct RunResult {
     pub down_drops: u64,
     /// Flows simulated.
     pub flows: u32,
-    /// Events processed (diagnostic).
+    /// Events processed (diagnostic; sample ticks are excluded, so this is
+    /// identical whether or not the run was recorded).
     pub events: u64,
     /// Largest bottleneck-queue depth observed, in packets.
     pub peak_queue_pkts: u64,
+    /// Path of the flight record written for this run, if it recorded.
+    pub record_path: Option<String>,
 }
 
 impl_json_struct!(RunResult {
@@ -109,10 +236,70 @@ impl_json_struct!(RunResult {
     flows,
     events,
     peak_queue_pkts,
+    record_path,
 });
 
-/// Run one scenario with a specific seed, under the default wall-clock
-/// watchdog ([`DEFAULT_WALL_LIMIT`]).
+impl RunResult {
+    /// The paper's per-run metrics view of this result (goodput converted
+    /// back to bits/s). Diagnostics — event counts, peak queue, the record
+    /// path — are deliberately excluded, which makes this the right object
+    /// to compare when asserting that recording does not perturb a run.
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            senders: self
+                .sender_mbps
+                .iter()
+                .enumerate()
+                .map(|(i, m)| SenderThroughput { sender: i as u32, goodput_bps: m * 1e6 })
+                .collect(),
+            jain: self.jain,
+            utilization: self.utilization,
+            retransmits: self.retransmits,
+            rtos: self.rtos,
+            drops: self.drops,
+        }
+    }
+}
+
+/// Everything a [`Runner`] produced: one [`RunResult`] per repeat, in seed
+/// order (`seed`, `seed+1`, …).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The scenario that ran.
+    pub config: ScenarioConfig,
+    /// Per-repeat results; never empty.
+    pub runs: Vec<RunResult>,
+}
+
+impl RunOutcome {
+    /// The base-seed run (the one that records, when recording is on).
+    pub fn first(&self) -> &RunResult {
+        &self.runs[0]
+    }
+
+    /// Consume the outcome into its base-seed run.
+    pub fn into_first(self) -> RunResult {
+        self.runs.into_iter().next().expect("RunOutcome.runs is never empty")
+    }
+
+    /// Path of the flight record, if the base-seed run recorded one.
+    pub fn record_path(&self) -> Option<&str> {
+        self.first().record_path.as_deref()
+    }
+
+    /// Average the repeats (see [`average_runs`]).
+    pub fn averaged(&self) -> AveragedResult {
+        average_runs(self.config.clone(), self.runs.clone())
+    }
+
+    /// Consume the outcome into an averaged result.
+    pub fn into_averaged(self) -> AveragedResult {
+        average_runs(self.config, self.runs)
+    }
+}
+
+/// Builder for executing a scenario: seed, wall-clock watchdog, repeats
+/// and an optional flight recording, then [`Runner::run`].
 ///
 /// Fault knobs on the config (steady-state loss, a timed [`FaultPlan`],
 /// an event budget) apply to the bottleneck link. Failures — validation,
@@ -120,20 +307,79 @@ impl_json_struct!(RunResult {
 /// instead of aborting the process, so a sweep degrades to a failed cell.
 ///
 /// [`FaultPlan`]: elephants_netsim::FaultPlan
-pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, RunError> {
-    run_scenario_with_wall_limit(cfg, seed, DEFAULT_WALL_LIMIT)
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: ScenarioConfig,
+    seed: Option<u64>,
+    wall_limit: Duration,
+    repeats: u32,
+    recording: Option<Recording>,
 }
 
-/// [`run_scenario`] with an explicit wall-clock watchdog.
+impl Runner {
+    /// A runner for `cfg` with defaults: the config's own base seed, the
+    /// default wall limit, one repeat, no recording.
+    pub fn new(cfg: &ScenarioConfig) -> Self {
+        Runner {
+            cfg: cfg.clone(),
+            seed: None,
+            wall_limit: DEFAULT_WALL_LIMIT,
+            repeats: 1,
+            recording: None,
+        }
+    }
+
+    /// Override the base seed (default: `cfg.seed`). Repeats use
+    /// `seed`, `seed+1`, ….
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Override the per-run wall-clock watchdog.
+    pub fn wall_limit(mut self, limit: Duration) -> Self {
+        self.wall_limit = limit;
+        self
+    }
+
+    /// Number of repeats (clamped to at least 1).
+    pub fn repeats(mut self, repeats: u32) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Attach a flight recording. Only the base-seed run records.
+    pub fn recorder(mut self, recording: Recording) -> Self {
+        self.recording = Some(recording);
+        self
+    }
+
+    /// Execute: `repeats` runs at consecutive seeds, failing fast on the
+    /// first error.
+    pub fn run(self) -> Result<RunOutcome, RunError> {
+        let base = self.seed.unwrap_or(self.cfg.seed);
+        let mut runs = Vec::with_capacity(self.repeats as usize);
+        for r in 0..self.repeats.max(1) {
+            // Record only the base-seed run: the artifact is for dynamics
+            // figures, and repeats exist to average metrics, not figures.
+            let rec = if r == 0 { self.recording.as_ref() } else { None };
+            runs.push(run_one(&self.cfg, base + r as u64, self.wall_limit, rec)?);
+        }
+        Ok(RunOutcome { config: self.cfg, runs })
+    }
+}
+
+/// Execute one (config, seed) run, optionally recording.
 ///
 /// The simulation is driven in fixed simulated-time slices (which does not
 /// perturb the event schedule — `run_until` + `finalize` is byte-identical
 /// to a one-shot `run`), checking the event budget and the wall clock
 /// between slices.
-pub fn run_scenario_with_wall_limit(
+fn run_one(
     cfg: &ScenarioConfig,
     seed: u64,
     wall_limit: Duration,
+    recording: Option<&Recording>,
 ) -> Result<RunResult, RunError> {
     if let Err(detail) = cfg.validate() {
         return Err(RunError { kind: RunErrorKind::InvalidConfig, detail });
@@ -162,6 +408,20 @@ pub fn run_scenario_with_wall_limit(
     };
     let sim_cfg = SimConfig { duration: cfg.duration, warmup, max_events: cfg.max_events };
     let mut sim = Simulator::new(topo, sim_cfg, seed);
+
+    if let Some(rec) = recording {
+        if rec.flows || rec.queue {
+            sim.install_recorder(
+                Box::new(FlightRecorder::new()),
+                RecorderConfig { interval: rec.interval, flows: rec.flows, queue: rec.queue },
+            );
+        }
+        if rec.events {
+            if let Some(bn) = sim.topology().bottleneck_link() {
+                sim.topology_mut().link_mut(bn).enable_trace(rec.event_capacity);
+            }
+        }
+    }
 
     if let Some(bn) = sim.topology().bottleneck_link() {
         sim.topology_mut().link_mut(bn).loss_model = cfg.loss;
@@ -225,6 +485,11 @@ pub fn run_scenario_with_wall_limit(
     }
     let summary = sim.finalize();
 
+    let record_path = match recording {
+        Some(rec) => Some(write_record(&mut sim, cfg, seed, rec)?),
+        None => None,
+    };
+
     // Per-flow goodput grouped by sender node.
     let window = summary.window;
     let flow_goodputs: Vec<(u32, f64)> = summary
@@ -261,7 +526,131 @@ pub fn run_scenario_with_wall_limit(
         flows: plan.total(),
         events: summary.events_processed,
         peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
+        record_path,
     })
+}
+
+/// Drain the recorder (and the bottleneck trace ring) out of a finished
+/// simulator, assemble the [`FlightRecord`], write it to disk, and emit
+/// the SVG dynamics figures. Returns the record path.
+fn write_record(
+    sim: &mut Simulator,
+    cfg: &ScenarioConfig,
+    seed: u64,
+    rec: &Recording,
+) -> Result<String, RunError> {
+    let io_err = |what: &str, e: std::io::Error| RunError {
+        kind: RunErrorKind::Io,
+        detail: format!("{what}: {e}"),
+    };
+
+    // An events-only recording never installed a live recorder on the
+    // simulator; start from an empty one and fill it from the ring.
+    let mut recorder = match sim.take_recorder() {
+        Some(mut boxed) => std::mem::take(
+            boxed
+                .as_any_mut()
+                .downcast_mut::<FlightRecorder>()
+                .expect("Runner installs a FlightRecorder"),
+        ),
+        None => FlightRecorder::new(),
+    };
+    if rec.events {
+        if let Some(bn) = sim.topology().bottleneck_link() {
+            if let Some(ring) = sim.topology_mut().link_mut(bn).take_trace() {
+                use elephants_netsim::Recorder;
+                for e in ring.events() {
+                    recorder.on_trace_event(e);
+                }
+                if ring.truncated() > 0 {
+                    recorder.on_trace_truncated(ring.truncated());
+                }
+            }
+        }
+    }
+
+    let record = recorder.into_record(cfg.label(), seed, rec.interval);
+    std::fs::create_dir_all(&rec.out_dir)
+        .map_err(|e| io_err("creating record directory", e))?;
+    let stem = cfg.cache_key(seed);
+    let path = rec.out_dir.join(format!("{stem}.flight.json"));
+    std::fs::write(&path, record.to_json_string())
+        .map_err(|e| io_err("writing flight record", e))?;
+    if rec.svg {
+        emit_dynamics_figures(&record, &rec.out_dir, &stem)
+            .map_err(|e| io_err("writing dynamics figure", e))?;
+    }
+    Ok(path.display().to_string())
+}
+
+/// Write the paper-style dynamics figures for a record: cwnd-vs-time (one
+/// series per flow) and, when queue samples exist, queue-depth-vs-time.
+pub fn emit_dynamics_figures(
+    record: &FlightRecord,
+    out_dir: &std::path::Path,
+    stem: &str,
+) -> std::io::Result<Vec<PathBuf>> {
+    use crate::svg::{write_chart, ChartSpec, Series};
+    let mut written = Vec::new();
+    let flows = record.flow_ids();
+    if !flows.is_empty() {
+        let series: Vec<Series> = flows
+            .iter()
+            .map(|&f| Series {
+                name: format!("flow {f}"),
+                points: record
+                    .cwnd_series(f)
+                    .into_iter()
+                    .map(|(t, cwnd)| (t, cwnd / 1e3))
+                    .collect(),
+            })
+            .collect();
+        let spec = ChartSpec {
+            title: format!("cwnd dynamics — {}", record.label),
+            x_label: "time (s)".to_string(),
+            y_label: "cwnd (kB)".to_string(),
+            ..ChartSpec::default()
+        };
+        let path = out_dir.join(format!("{stem}.cwnd.svg"));
+        write_chart(&path, &spec, &series)?;
+        written.push(path);
+    }
+    if !record.queue_samples.is_empty() {
+        let series = [Series {
+            name: "bottleneck queue".to_string(),
+            points: record.queue_series(),
+        }];
+        let spec = ChartSpec {
+            title: format!("queue dynamics — {}", record.label),
+            x_label: "time (s)".to_string(),
+            y_label: "backlog (pkts)".to_string(),
+            ..ChartSpec::default()
+        };
+        let path = out_dir.join(format!("{stem}.queue.svg"));
+        write_chart(&path, &spec, &series)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Run one scenario with a specific seed, under the default wall-clock
+/// watchdog ([`DEFAULT_WALL_LIMIT`]).
+#[deprecated(since = "0.2.0", note = "use `Runner::new(cfg).seed(seed).run()`")]
+pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, RunError> {
+    Runner::new(cfg).seed(seed).run().map(RunOutcome::into_first)
+}
+
+/// [`run_scenario`] with an explicit wall-clock watchdog.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Runner::new(cfg).seed(seed).wall_limit(limit).run()`"
+)]
+pub fn run_scenario_with_wall_limit(
+    cfg: &ScenarioConfig,
+    seed: u64,
+    wall_limit: Duration,
+) -> Result<RunResult, RunError> {
+    Runner::new(cfg).seed(seed).wall_limit(wall_limit).run().map(RunOutcome::into_first)
 }
 
 /// Averages over repeated runs of one scenario.
@@ -317,15 +706,13 @@ pub fn average_runs(config: ScenarioConfig, runs: Vec<RunResult>) -> AveragedRes
 /// # Panics
 /// Panics if any run fails; figure assembly needs every repeat. Use the
 /// fault-tolerant sweep path for graceful degradation.
+#[deprecated(since = "0.2.0", note = "use `Runner::new(cfg).repeats(n).run()` + `averaged()`")]
 pub fn run_averaged(cfg: &ScenarioConfig, repeats: u32) -> AveragedResult {
-    let runs: Vec<RunResult> = (0..repeats.max(1))
-        .map(|r| {
-            let seed = cfg.seed + r as u64;
-            run_scenario(cfg, seed)
-                .unwrap_or_else(|e| panic!("run failed ({}, seed {seed}): {e}", cfg.label()))
-        })
-        .collect();
-    average_runs(cfg.clone(), runs)
+    Runner::new(cfg)
+        .repeats(repeats)
+        .run()
+        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
+        .into_averaged()
 }
 
 /// Convenience used by tests: first flow's start time for the plan.
@@ -344,20 +731,25 @@ mod tests {
         ScenarioConfig::new(cca1, cca2, aqm, q, bw, &RunOptions::quick())
     }
 
+    fn run_seeded(cfg: &ScenarioConfig, seed: u64) -> RunResult {
+        Runner::new(cfg).seed(seed).run().unwrap().into_first()
+    }
+
     #[test]
     fn cubic_intra_100m_fifo_is_fair_and_full() {
         let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
-        let r = run_scenario(&cfg, 1).unwrap();
+        let r = run_seeded(&cfg, 1);
         assert_eq!(r.flows, 2);
         assert!(r.utilization > 0.85, "φ = {}", r.utilization);
         assert!(r.jain > 0.8, "J = {}", r.jain);
+        assert!(r.record_path.is_none(), "no recorder attached");
     }
 
     #[test]
     fn runner_is_deterministic() {
         let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        let a = run_scenario(&cfg, 7).unwrap();
-        let b = run_scenario(&cfg, 7).unwrap();
+        let a = run_seeded(&cfg, 7);
+        let b = run_seeded(&cfg, 7);
         assert_eq!(a.events, b.events);
         assert_eq!(a.sender_mbps, b.sender_mbps);
         assert_eq!(a.retransmits, b.retransmits);
@@ -366,7 +758,7 @@ mod tests {
     #[test]
     fn averaging_is_elementwise() {
         let cfg = quick_cfg(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        let avg = run_averaged(&cfg, 2);
+        let avg = Runner::new(&cfg).repeats(2).run().unwrap().into_averaged();
         assert_eq!(avg.runs.len(), 2);
         let expect0 = (avg.runs[0].sender_mbps[0] + avg.runs[1].sender_mbps[0]) / 2.0;
         assert!((avg.sender_mbps[0] - expect0).abs() < 1e-9);
@@ -377,7 +769,7 @@ mod tests {
         let mut cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
         cfg.warmup = cfg.duration; // zero-width window as configured
         let before = degenerate_window_runs();
-        let r = run_scenario(&cfg, 3).unwrap();
+        let r = run_seeded(&cfg, 3);
         assert!(degenerate_window_runs() > before, "clamp must be counted");
         assert!(r.utilization.is_finite(), "φ = {}", r.utilization);
         assert!(r.jain.is_finite(), "J = {}", r.jain);
@@ -390,7 +782,7 @@ mod tests {
     #[should_panic(expected = "cannot average")]
     fn averaging_rejects_mismatched_sender_vectors() {
         let cfg = quick_cfg(CcaKind::Reno, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        let a = run_scenario(&cfg, 1).unwrap();
+        let a = run_seeded(&cfg, 1);
         let mut b = a.clone();
         b.sender_mbps.pop();
         average_runs(cfg, vec![a, b]);
@@ -399,7 +791,66 @@ mod tests {
     #[test]
     fn flow_counts_follow_table2() {
         let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 500_000_000);
-        let r = run_scenario(&cfg, 1).unwrap();
+        let r = run_seeded(&cfg, 1);
         assert_eq!(r.flows, 10);
+    }
+
+    #[test]
+    fn recording_spec_parses_cli_spelling() {
+        let rec = Recording::parse("flows").unwrap();
+        assert!(rec.flows && !rec.queue && !rec.events);
+        let rec = Recording::parse("flows,queue,events").unwrap();
+        assert!(rec.flows && rec.queue && rec.events);
+        let rec = Recording::parse("queue").unwrap();
+        assert!(!rec.flows && rec.queue);
+        assert!(Recording::parse("flows,bogus").is_err());
+        assert!(Recording::parse("").is_err());
+    }
+
+    #[test]
+    fn deprecated_shims_match_runner() {
+        let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        #[allow(deprecated)]
+        let shim = run_scenario(&cfg, 5).unwrap();
+        let new = run_seeded(&cfg, 5);
+        assert_eq!(shim.metrics().to_json_string(), new.metrics().to_json_string());
+        assert_eq!(shim.events, new.events);
+    }
+
+    #[test]
+    fn recording_writes_flight_record_without_perturbing_metrics() {
+        let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        let dir = std::env::temp_dir().join(format!("elephants-rec-{}", std::process::id()));
+        let plain = run_seeded(&cfg, 9);
+        let recorded = Runner::new(&cfg)
+            .seed(9)
+            .recorder(
+                Recording::parse("flows,queue,events").unwrap().out_dir(&dir).svg(true),
+            )
+            .run()
+            .unwrap()
+            .into_first();
+        // The recorder is a pure observer: the paper metrics and the event
+        // count must be byte-identical with and without it.
+        assert_eq!(
+            plain.metrics().to_json_string(),
+            recorded.metrics().to_json_string(),
+            "recording must not perturb run metrics"
+        );
+        assert_eq!(plain.events, recorded.events, "sample ticks must not count as events");
+
+        let path = recorded.record_path.as_deref().expect("record path set");
+        let json = std::fs::read_to_string(path).unwrap();
+        let record = FlightRecord::parse(&json).unwrap();
+        assert_eq!(record.seed, 9);
+        assert!(record.flow_ids().len() >= 2, "both senders sampled");
+        assert!(!record.queue_samples.is_empty(), "queue channel recorded");
+        assert!(
+            !record.events.is_empty() || record.events_truncated > 0,
+            "event trace captured"
+        );
+        let cwnd_svg = dir.join(format!("{}.cwnd.svg", cfg.cache_key(9)));
+        assert!(cwnd_svg.exists(), "cwnd dynamics figure written");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -97,7 +97,121 @@ impl_json_struct!(ScenarioConfig {
     max_events,
 });
 
+/// Fluent constructor for [`ScenarioConfig`]: start from the paper
+/// defaults, override individual fields, and validate once at
+/// [`ScenarioBuilder::build`].
+///
+/// The builder is a pure convenience layer — the JSON shape and cache-key
+/// fingerprint of the built config are identical to one assembled with
+/// [`ScenarioConfig::new`] plus field mutation.
+///
+/// ```
+/// use elephants_experiments::prelude::*;
+/// let cfg = ScenarioConfig::builder(
+///     CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000,
+///     &RunOptions::quick(),
+/// )
+/// .rtt_ms(124)
+/// .seed(7)
+/// .build()
+/// .unwrap();
+/// assert_eq!(cfg.rtt_ms, 124);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cfg: ScenarioConfig,
+}
+
+impl ScenarioBuilder {
+    /// Override the simulated run length (and rescale the warmup to keep
+    /// the configured warmup fraction — call [`Self::warmup`] after this
+    /// to pin an absolute warmup instead).
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        let frac = if self.cfg.duration.is_zero() {
+            0.0
+        } else {
+            self.cfg.warmup.as_secs_f64() / self.cfg.duration.as_secs_f64()
+        };
+        self.cfg.duration = duration;
+        self.cfg.warmup = duration.mul_f64(frac);
+        self
+    }
+
+    /// Override the measurement-window start.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.cfg.warmup = warmup;
+        self
+    }
+
+    /// Override the Table 2 flow-count scale.
+    pub fn flow_scale(mut self, scale: f64) -> Self {
+        self.cfg.flow_scale = scale;
+        self
+    }
+
+    /// Override the segment size.
+    pub fn mss(mut self, mss: u32) -> Self {
+        self.cfg.mss = mss;
+        self
+    }
+
+    /// Enable or disable end-to-end ECN.
+    pub fn ecn(mut self, ecn: bool) -> Self {
+        self.cfg.ecn = ecn;
+        self
+    }
+
+    /// Override the round-trip propagation time.
+    pub fn rtt_ms(mut self, rtt_ms: u64) -> Self {
+        self.cfg.rtt_ms = rtt_ms;
+        self
+    }
+
+    /// Override the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Install a steady-state loss model on the bottleneck.
+    pub fn loss(mut self, loss: LossModel) -> Self {
+        self.cfg.loss = loss;
+        self
+    }
+
+    /// Install a timed fault plan on the bottleneck.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Set the event-budget watchdog.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.cfg.max_events = max_events;
+        self
+    }
+
+    /// Validate and return the config ([`ScenarioConfig::validate`]).
+    pub fn build(self) -> Result<ScenarioConfig, String> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 impl ScenarioConfig {
+    /// Start building a scenario from the paper defaults; see
+    /// [`ScenarioBuilder`].
+    pub fn builder(
+        cca1: CcaKind,
+        cca2: CcaKind,
+        aqm: AqmKind,
+        queue_bdp: f64,
+        bw_bps: u64,
+        opts: &RunOptions,
+    ) -> ScenarioBuilder {
+        ScenarioBuilder { cfg: ScenarioConfig::new(cca1, cca2, aqm, queue_bdp, bw_bps, opts) }
+    }
+
     /// A scenario with paper defaults and runtime knobs from `opts`.
     pub fn new(
         cca1: CcaKind,
@@ -401,6 +515,82 @@ mod tests {
         cfg.max_events = 5_000_000;
         let back = ScenarioConfig::from_json_str(&cfg.to_json_string()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn builder_matches_field_mutation_byte_for_byte() {
+        let opts = RunOptions::quick();
+        let built = ScenarioConfig::builder(
+            CcaKind::BbrV1,
+            CcaKind::Cubic,
+            AqmKind::Red,
+            2.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .rtt_ms(124)
+        .seed(9)
+        .max_events(5_000_000)
+        .build()
+        .unwrap();
+
+        let mut manual =
+            ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Red, 2.0, PAPER_BWS[0], &opts);
+        manual.rtt_ms = 124;
+        manual.seed = 9;
+        manual.max_events = 5_000_000;
+        // Same JSON bytes and same cache-key fingerprint: the builder is
+        // pure convenience, not a new schema.
+        assert_eq!(built.to_json_string(), manual.to_json_string());
+        assert_eq!(built.cache_key(9), manual.cache_key(9));
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let opts = RunOptions::quick();
+        let err = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .max_events(0)
+        .build()
+        .unwrap_err();
+        assert!(err.contains("max_events"), "{err}");
+
+        let err = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .flow_scale(2.0)
+        .build()
+        .unwrap_err();
+        assert!(err.contains("flow_scale"), "{err}");
+    }
+
+    #[test]
+    fn builder_duration_rescales_warmup_fraction() {
+        let opts = RunOptions::quick(); // warmup_frac 0.25
+        let cfg = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .duration(SimDuration::from_secs(40))
+        .build()
+        .unwrap();
+        assert_eq!(cfg.duration, SimDuration::from_secs(40));
+        assert_eq!(cfg.warmup, SimDuration::from_secs(10));
     }
 
     #[test]

@@ -253,7 +253,7 @@ fn assert_failures_empty(out: &SweepOutput) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_scenario, RunErrorKind};
+    use crate::runner::{RunErrorKind, Runner};
     use crate::scenario::{RunOptions, ScenarioConfig};
     use elephants_aqm::AqmKind;
     use elephants_cca::CcaKind;
@@ -275,7 +275,7 @@ mod tests {
         assert_eq!(results[0].config.cca1, CcaKind::Cubic);
         assert_eq!(results[1].config.cca1, CcaKind::Reno);
         // Parallel result equals a direct serial run (determinism).
-        let serial = run_scenario(&cfgs()[0], cfgs()[0].seed).unwrap();
+        let serial = Runner::new(&cfgs()[0]).run().unwrap().into_first();
         assert_eq!(results[0].runs[0].events, serial.events);
     }
 
@@ -313,7 +313,7 @@ mod tests {
                 if cfg.cca1 == CcaKind::Cubic {
                     panic!("injected poison for {}", cfg.label());
                 }
-                crate::runner::run_scenario(cfg, seed)
+                Runner::new(cfg).seed(seed).run().map(crate::runner::RunOutcome::into_first)
             },
             None,
         );
@@ -359,7 +359,7 @@ mod tests {
                         detail: "simulated transient stall".to_string(),
                     })
                 } else {
-                    crate::runner::run_scenario(cfg, seed)
+                    Runner::new(cfg).seed(seed).run().map(crate::runner::RunOutcome::into_first)
                 }
             },
             None,
@@ -381,7 +381,7 @@ mod tests {
                 if cfg.cca1 == CcaKind::Reno {
                     panic!("always fails");
                 }
-                crate::runner::run_scenario(cfg, seed)
+                Runner::new(cfg).seed(seed).run().map(crate::runner::RunOutcome::into_first)
             },
             None,
         );

@@ -90,7 +90,7 @@ impl ScenarioTrace {
 
 /// Run a scenario while sampling the bottleneck every `interval`.
 ///
-/// The event schedule is identical to [`crate::runner::run_scenario`] for
+/// The event schedule is identical to [`crate::runner::Runner`] runs for
 /// the same `(cfg, seed)` — stepping with `run_until` does not inject
 /// events — so traces are faithful views of the untraced runs.
 pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuration) -> ScenarioTrace {
@@ -178,7 +178,7 @@ pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuratio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::run_scenario;
+    use crate::runner::Runner;
     use crate::scenario::RunOptions;
     use elephants_aqm::AqmKind;
     use elephants_cca::CcaKind;
@@ -209,7 +209,7 @@ mod tests {
         // Stepping must not perturb the simulation: cumulative drops at the
         // end of the trace equal the untraced run's drop count.
         let c = cfg();
-        let untraced = run_scenario(&c, 3).unwrap();
+        let untraced = Runner::new(&c).seed(3).run().unwrap().into_first();
         let trace = run_scenario_traced(&c, 3, SimDuration::from_millis(250));
         assert_eq!(trace.samples.last().unwrap().drops, untraced.drops);
     }

@@ -53,15 +53,30 @@ pub fn link_utilization(total_throughput_bps: f64, capacity_bps: f64) -> f64 {
     phi.min(1.0)
 }
 
+/// Sentinel returned by [`relative_retransmissions`] when the ratio is
+/// undefined: the CUBIC reference saw zero retransmissions while the
+/// scenario did not. A genuine RR is always positive, so `-1.0` cannot be
+/// confused with a real value — and unlike the `f64::INFINITY` this used to
+/// return, it survives a JSON round trip (JSON has no representation for
+/// infinities, so `inf` would silently corrupt cached figure data).
+pub const RR_UNDEFINED: f64 = -1.0;
+
+/// Whether an RR value is a real ratio rather than the [`RR_UNDEFINED`]
+/// sentinel. Use this to filter before averaging RRs.
+pub fn rr_is_defined(rr: f64) -> bool {
+    rr >= 0.0
+}
+
 /// Relative retransmissions RR (paper Eq. 4): retransmissions of a scenario
 /// normalized by the CUBIC-vs-CUBIC reference for the same conditions.
 ///
-/// A zero reference with nonzero numerator returns `f64::INFINITY`; zero
+/// A zero reference with a nonzero numerator is undefined and returns the
+/// documented [`RR_UNDEFINED`] sentinel (test with [`rr_is_defined`]); zero
 /// over zero is defined as 1.0 (both perfectly clean).
 pub fn relative_retransmissions(retx: u64, retx_cubic_ref: u64) -> f64 {
     match (retx, retx_cubic_ref) {
         (0, 0) => 1.0,
-        (_, 0) => f64::INFINITY,
+        (_, 0) => RR_UNDEFINED,
         (r, c) => r as f64 / c as f64,
     }
 }
@@ -185,8 +200,19 @@ mod tests {
     fn rr_normalization() {
         assert_eq!(relative_retransmissions(100, 50), 2.0);
         assert_eq!(relative_retransmissions(0, 0), 1.0);
-        assert_eq!(relative_retransmissions(5, 0), f64::INFINITY);
         assert_eq!(relative_retransmissions(50, 50), 1.0);
+    }
+
+    #[test]
+    fn rr_zero_reference_is_sentinel_not_inf() {
+        let rr = relative_retransmissions(5, 0);
+        assert_eq!(rr, RR_UNDEFINED);
+        assert!(rr.is_finite(), "sentinel must be JSON-representable");
+        assert!(!rr_is_defined(rr));
+        // Every defined outcome passes the filter, including 0/5 = 0.
+        assert!(rr_is_defined(relative_retransmissions(0, 0)));
+        assert!(rr_is_defined(relative_retransmissions(0, 5)));
+        assert!(rr_is_defined(relative_retransmissions(7, 5)));
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub enum Event {
     /// every other event, so faulted runs keep the exact `(time, seq)`
     /// total order that makes fixed-seed runs byte-identical.
     Fault { link: LinkId, idx: u32 },
+    /// A telemetry sample tick: the simulator reads flow/queue state into
+    /// the installed [`crate::record::Recorder`] and re-arms the tick.
+    /// Scheduled only when a recorder is installed, and excluded from the
+    /// processed-event counter so recorded runs report identical metrics.
+    Sample,
 }
 
 #[derive(Debug, Clone, Copy)]

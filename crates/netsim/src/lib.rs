@@ -44,6 +44,7 @@ pub mod link;
 pub mod packet;
 pub mod prop;
 pub mod queue;
+pub mod record;
 pub mod rng;
 pub mod sim;
 pub mod time;
@@ -55,6 +56,10 @@ pub use fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, R
 pub use link::{Link, LinkId, LinkSpec, LinkStats};
 pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketArena, PacketKind, PacketRef, SACK_MAX};
 pub use queue::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
+pub use record::{
+    EventRing, FlowProbe, FlowSample, NullRecorder, QueueSample, Recorder, RecorderConfig,
+    RecorderHandle, TraceEvent, TraceEventKind, TRACE_NO_FLOW,
+};
 pub use rng::{Rng, RngExt, SeedableRng, SmallRng};
 pub use sim::{Ctx, EndpointReport, FlowEndpoint, RunSummary, SimConfig, Simulator, TimerToken};
 pub use time::{SimDuration, SimTime};
@@ -68,6 +73,7 @@ pub mod prelude {
     pub use crate::link::{LinkId, LinkSpec};
     pub use crate::packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketKind};
     pub use crate::queue::{Aqm, DequeueResult, DropTail, Verdict};
+    pub use crate::record::{FlowProbe, FlowSample, NullRecorder, QueueSample, Recorder, RecorderConfig};
     pub use crate::sim::{Ctx, FlowEndpoint, SimConfig, Simulator};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::topology::{DumbbellSpec, Topology};

@@ -4,6 +4,7 @@ use crate::event::{Event, EventQueue};
 use crate::fault::{DuplicateModel, FaultAction, LossModel, LossState, ReorderModel};
 use crate::packet::{NodeId, Packet};
 use crate::queue::{Aqm, AqmStats, DropTail};
+use crate::record::{EventRing, TraceEvent, TraceEventKind, TRACE_NO_FLOW};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Bandwidth;
 use crate::rng::{RngExt, SmallRng};
@@ -82,6 +83,9 @@ pub struct Link {
     up: bool,
     busy: bool,
     stats: LinkStats,
+    /// Per-packet trace ring (flight recorder); `None` — the default —
+    /// costs one predictable branch per queue operation.
+    trace: Option<Box<EventRing>>,
 }
 
 impl Link {
@@ -102,6 +106,7 @@ impl Link {
             up: true,
             busy: false,
             stats: LinkStats::default(),
+            trace: None,
         }
     }
 
@@ -119,11 +124,35 @@ impl Link {
     pub fn offer(&mut self, pkt: Packet, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
         if !self.up {
             self.stats.down_drops += 1;
+            if let Some(ring) = &mut self.trace {
+                ring.push(TraceEvent {
+                    t: now,
+                    kind: TraceEventKind::Drop,
+                    flow: pkt.flow,
+                    seq: pkt.seq,
+                    size: pkt.size,
+                });
+            }
             return;
         }
         match self.aqm.enqueue(pkt, now, rng) {
-            crate::queue::Verdict::Dropped => {}
+            crate::queue::Verdict::Dropped => {
+                if let Some(ring) = &mut self.trace {
+                    ring.push(TraceEvent {
+                        t: now,
+                        kind: TraceEventKind::Drop,
+                        flow: pkt.flow,
+                        seq: pkt.seq,
+                        size: pkt.size,
+                    });
+                }
+            }
             _ => {
+                if let Some(ring) = &mut self.trace {
+                    let kind =
+                        if pkt.retx { TraceEventKind::Retx } else { TraceEventKind::Enqueue };
+                    ring.push(TraceEvent { t: now, kind, flow: pkt.flow, seq: pkt.seq, size: pkt.size });
+                }
                 let depth = self.aqm.backlog_pkts() as u64;
                 if depth > self.stats.peak_qlen_pkts {
                     self.stats.peak_qlen_pkts = depth;
@@ -148,6 +177,15 @@ impl Link {
         }
         let res = self.aqm.dequeue(now, rng);
         let Some(pkt) = res.pkt else { return };
+        if let Some(ring) = &mut self.trace {
+            ring.push(TraceEvent {
+                t: now,
+                kind: TraceEventKind::Dequeue,
+                flow: pkt.flow,
+                seq: pkt.seq,
+                size: pkt.size,
+            });
+        }
         let ser = self.rate.serialization_time(pkt.size as u64);
         self.busy = true;
         self.stats.pkts_tx += 1;
@@ -187,6 +225,15 @@ impl Link {
         rng: &mut SmallRng,
     ) {
         self.stats.fault_events_applied += 1;
+        if let Some(ring) = &mut self.trace {
+            ring.push(TraceEvent {
+                t: now,
+                kind: TraceEventKind::Fault,
+                flow: TRACE_NO_FLOW,
+                seq: 0,
+                size: 0,
+            });
+        }
         match action {
             FaultAction::LinkDown => self.set_down(),
             FaultAction::LinkUp => self.set_up(now, events, rng),
@@ -236,6 +283,22 @@ impl Link {
     /// Whether the transmitter is currently serializing a packet.
     pub fn is_busy(&self) -> bool {
         self.busy
+    }
+
+    /// Start tracing queue operations into a ring of at most `capacity`
+    /// events. Replaces any earlier ring.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(EventRing::new(capacity)));
+    }
+
+    /// The trace ring, if tracing is enabled.
+    pub fn trace(&self) -> Option<&EventRing> {
+        self.trace.as_deref()
+    }
+
+    /// Remove and return the trace ring (post-run drain).
+    pub fn take_trace(&mut self) -> Option<Box<EventRing>> {
+        self.trace.take()
     }
 }
 

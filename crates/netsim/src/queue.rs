@@ -81,6 +81,14 @@ pub trait Aqm: Send {
 
     /// Discipline name for reports (e.g. `"fifo"`, `"red"`, `"fq_codel"`).
     fn name(&self) -> &'static str;
+
+    /// The discipline's internal control variable, for telemetry: RED
+    /// reports its average queue (bytes), PIE its drop probability.
+    /// Disciplines whose drop law has no single scalar (FIFO, CoDel's
+    /// interval state machine) return `None` — the default.
+    fn control_state(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// Plain droptail FIFO with a byte limit (`pfifo`/`bfifo` semantics).

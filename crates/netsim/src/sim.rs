@@ -5,6 +5,7 @@ use crate::fault::{FaultAction, FaultPlan};
 use crate::link::LinkId;
 use crate::packet::{Dir, FlowId, NodeId, Packet};
 use crate::queue::AqmStats;
+use crate::record::{FlowProbe, FlowSample, QueueSample, Recorder, RecorderConfig, RecorderHandle};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::rng::{SeedableRng, SmallRng};
@@ -57,6 +58,16 @@ pub trait FlowEndpoint: Send {
 
     /// The measurement window begins: snapshot counters.
     fn on_mark(&mut self, _now: SimTime) {}
+
+    /// Telemetry read-out at a sample tick: what the flight recorder sees.
+    ///
+    /// Called on *sender* endpoints only, through `&self` — implementations
+    /// must not mutate state or draw randomness (recording must observe,
+    /// never perturb). The default — endpoints with nothing to report —
+    /// returns `None` and the sample is skipped.
+    fn telemetry_probe(&self, _now: SimTime) -> Option<FlowProbe> {
+        None
+    }
 
     /// Final counters for the run summary.
     fn report(&self) -> EndpointReport;
@@ -293,6 +304,8 @@ pub struct Simulator {
     mark_bytes_bottleneck: u64,
     /// Installed fault actions; `Event::Fault { idx }` indexes this table.
     fault_actions: Vec<FaultAction>,
+    /// Flight-recorder slot; empty by default (recording off).
+    recorder: RecorderHandle,
     scratch_pkts: Vec<Packet>,
     scratch_timers: Vec<(TimerKind, SimTime, u32)>,
 }
@@ -321,6 +334,7 @@ impl Simulator {
             processed: 0,
             mark_bytes_bottleneck: 0,
             fault_actions: Vec::new(),
+            recorder: RecorderHandle::null(),
             scratch_pkts: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(8),
         }
@@ -391,6 +405,28 @@ impl Simulator {
         }
     }
 
+    /// Install a flight recorder and start the sample clock.
+    ///
+    /// The first tick fires one interval into the run; each tick re-arms
+    /// itself until the configured duration. Sample ticks read state
+    /// through `&self` accessors, draw no randomness, and are excluded
+    /// from the processed-event counter, so a recorded run reports the
+    /// same metrics, byte for byte, as an unrecorded one.
+    pub fn install_recorder(&mut self, rec: Box<dyn Recorder>, cfg: RecorderConfig) {
+        self.recorder.install(rec, cfg);
+        self.events.schedule(SimTime::ZERO + cfg.interval, Event::Sample);
+    }
+
+    /// Remove and return the installed recorder (post-run recovery).
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Whether a recorder is installed.
+    pub fn recording(&self) -> bool {
+        self.recorder.is_active()
+    }
+
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
@@ -451,7 +487,12 @@ impl Simulator {
                 self.do_mark(mark_at);
             }
             self.now = at;
-            self.processed += 1;
+            // Sample ticks are excluded from the processed count: the
+            // counter (and the max_events budget it feeds) must mean the
+            // same thing whether or not a recorder is installed.
+            if !matches!(ev, Event::Sample) {
+                self.processed += 1;
+            }
             match ev {
                 Event::LinkTxDone { link } => {
                     let now = self.now;
@@ -467,6 +508,14 @@ impl Simulator {
                     self.topo
                         .link_mut(link)
                         .apply_fault(action, now, &mut self.events, &mut self.rng);
+                }
+                Event::Sample => {
+                    let now = self.now;
+                    self.sample_tick(now);
+                    let next = now + self.recorder.config().interval;
+                    if self.recorder.is_active() && next <= SimTime::ZERO + self.cfg.duration {
+                        self.events.schedule(next, Event::Sample);
+                    }
                 }
                 Event::Timer { flow, dir, kind, gen } => {
                     // Lazy cancellation: a firing from a superseded arming
@@ -517,6 +566,34 @@ impl Simulator {
         }
         if let Some(bn) = self.topo.bottleneck_link() {
             self.mark_bytes_bottleneck = self.topo.link(bn).stats().bytes_tx;
+        }
+    }
+
+    /// One sample tick: read flow and bottleneck-queue state into the
+    /// recorder. Pure observation — no endpoint mutation, no RNG draws.
+    fn sample_tick(&mut self, now: SimTime) {
+        let cfg = self.recorder.config();
+        let Some(rec) = self.recorder.recorder_mut() else { return };
+        if cfg.flows {
+            for (i, slot) in self.flows.iter().enumerate() {
+                if let Some(probe) = slot.sender.telemetry_probe(now) {
+                    rec.on_flow_sample(&FlowSample { t: now, flow: FlowId(i as u32), probe });
+                }
+            }
+        }
+        if cfg.queue {
+            if let Some(bn) = self.topo.bottleneck_link() {
+                let link = self.topo.link(bn);
+                let stats = link.aqm_stats();
+                rec.on_queue_sample(&QueueSample {
+                    t: now,
+                    backlog_pkts: link.aqm.backlog_pkts() as u64,
+                    backlog_bytes: link.aqm.backlog_bytes(),
+                    dropped: stats.dropped_total(),
+                    marked: stats.marked,
+                    control: link.aqm.control_state(),
+                });
+            }
         }
     }
 

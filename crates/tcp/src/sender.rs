@@ -8,7 +8,8 @@ use crate::rtt::RttEstimator;
 use crate::scoreboard::{PktMeta, PktState, Scoreboard};
 use elephants_cca::{AckEvent, CongestionControl, LossEvent};
 use elephants_netsim::{
-    Ctx, EndpointReport, FlowEndpoint, NodeId, Packet, PacketKind, SimDuration, SimTime, TimerKind,
+    Ctx, EndpointReport, FlowEndpoint, FlowProbe, NodeId, Packet, PacketKind, SimDuration, SimTime,
+    TimerKind,
 };
 use std::any::Any;
 
@@ -463,6 +464,17 @@ impl FlowEndpoint for TcpSender {
 
     fn on_mark(&mut self, _now: SimTime) {
         self.retransmits_at_mark = self.retransmits;
+    }
+
+    fn telemetry_probe(&self, _now: SimTime) -> Option<FlowProbe> {
+        let snap = self.cca.state_snapshot();
+        Some(FlowProbe {
+            cwnd: snap.cwnd,
+            pacing_rate: snap.pacing_rate,
+            srtt: self.rtt.srtt(),
+            inflight: self.inflight_bytes(),
+            phase: snap.phase,
+        })
     }
 
     fn report(&self) -> EndpointReport {

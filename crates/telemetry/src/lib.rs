@@ -1,0 +1,349 @@
+//! # elephants-telemetry
+//!
+//! The flight recorder: turns the simulator's observability hooks
+//! ([`elephants_netsim::Recorder`]) into a versioned, JSON-serializable
+//! [`FlightRecord`] artifact — the per-flow cwnd/pacing/srtt time series,
+//! bottleneck-queue depth series and (optional) bounded per-packet event
+//! trace behind the paper's dynamics figures (BBR's ProbeBW oscillation,
+//! CUBIC's sawtooth, queue standing waves under FIFO/RED).
+//!
+//! The recorder is strictly an *observer*: installing a [`FlightRecorder`]
+//! on a run changes none of the run's metrics (the experiments suite guards
+//! this with a byte-identity test). Serialization goes through
+//! `elephants-json`; the artifact carries [`FLIGHT_RECORD_VERSION`] so
+//! readers can reject records written by a different schema.
+
+use elephants_json::{impl_json_struct, FromJson, JsonError};
+use elephants_netsim::{
+    FlowSample, QueueSample, Recorder, SimDuration, TraceEvent, TRACE_NO_FLOW,
+};
+use std::any::Any;
+
+/// Schema version stamped into every [`FlightRecord`]. Bump when the JSON
+/// shape of the record or its point types changes.
+pub const FLIGHT_RECORD_VERSION: u32 = 1;
+
+/// One per-flow sample row (times in seconds; `null` = not yet measured).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowPoint {
+    /// Sample time, seconds since run start.
+    pub t_s: f64,
+    /// Flow id.
+    pub flow: u32,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Pacing rate, bits/s (`null` = ACK-clocked).
+    pub pacing_bps: Option<u64>,
+    /// Smoothed RTT, seconds (`null` before the first sample).
+    pub srtt_s: Option<f64>,
+    /// Bytes in flight.
+    pub inflight: u64,
+    /// CCA phase label (e.g. `"slow_start"`, `"probe_bw:1.25"`).
+    pub phase: String,
+}
+
+impl_json_struct!(FlowPoint { t_s, flow, cwnd, pacing_bps, srtt_s, inflight, phase });
+
+/// One bottleneck-queue sample row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueuePoint {
+    /// Sample time, seconds since run start.
+    pub t_s: f64,
+    /// Packets queued.
+    pub backlog_pkts: u64,
+    /// Bytes queued.
+    pub backlog_bytes: u64,
+    /// Cumulative drops so far.
+    pub dropped: u64,
+    /// Cumulative ECN marks so far.
+    pub marked: u64,
+    /// AQM control variable (RED: average queue bytes; PIE: drop
+    /// probability; `null` for disciplines without one).
+    pub control: Option<f64>,
+}
+
+impl_json_struct!(QueuePoint { t_s, backlog_pkts, backlog_bytes, dropped, marked, control });
+
+/// One per-packet trace row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventPoint {
+    /// Event time, seconds since run start.
+    pub t_s: f64,
+    /// `"enqueue"`, `"retx"`, `"dequeue"`, `"drop"` or `"fault"`.
+    pub kind: String,
+    /// Flow id (`u32::MAX` on fault rows, which have no flow).
+    pub flow: u32,
+    /// Packet sequence number.
+    pub seq: u64,
+    /// Packet size, bytes.
+    pub size: u32,
+}
+
+impl_json_struct!(EventPoint { t_s, kind, flow, seq, size });
+
+/// The versioned flight-record artifact of one recorded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecord {
+    /// Schema version ([`FLIGHT_RECORD_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Human-readable scenario label.
+    pub label: String,
+    /// The run's seed.
+    pub seed: u64,
+    /// Sample spacing, seconds.
+    pub sample_interval_s: f64,
+    /// Per-flow samples, in time order (flows interleaved).
+    pub flow_samples: Vec<FlowPoint>,
+    /// Bottleneck-queue samples, in time order.
+    pub queue_samples: Vec<QueuePoint>,
+    /// Per-packet trace (empty unless event tracing was enabled).
+    pub events: Vec<EventPoint>,
+    /// Trace events shed by the bounded ring after it filled. Non-zero
+    /// means `events` covers only the start of the run — check this before
+    /// trusting the trace tail.
+    pub events_truncated: u64,
+}
+
+impl_json_struct!(FlightRecord {
+    schema_version,
+    label,
+    seed,
+    sample_interval_s,
+    flow_samples,
+    queue_samples,
+    events,
+    events_truncated,
+});
+
+impl FlightRecord {
+    /// Parse a record, rejecting schema mismatches loudly.
+    pub fn parse(s: &str) -> Result<FlightRecord, JsonError> {
+        let rec = FlightRecord::from_json_str(s)?;
+        if rec.schema_version != FLIGHT_RECORD_VERSION {
+            return Err(JsonError::new(format!(
+                "flight record schema v{} (reader supports v{})",
+                rec.schema_version, FLIGHT_RECORD_VERSION
+            )));
+        }
+        Ok(rec)
+    }
+
+    /// The distinct flow ids present, ascending.
+    pub fn flow_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.flow_samples.iter().map(|p| p.flow).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The `(t, cwnd)` series of one flow (cwnd in bytes).
+    pub fn cwnd_series(&self, flow: u32) -> Vec<(f64, f64)> {
+        self.flow_samples
+            .iter()
+            .filter(|p| p.flow == flow)
+            .map(|p| (p.t_s, p.cwnd as f64))
+            .collect()
+    }
+
+    /// The `(t, backlog_pkts)` series of the bottleneck queue.
+    pub fn queue_series(&self) -> Vec<(f64, f64)> {
+        self.queue_samples.iter().map(|p| (p.t_s, p.backlog_pkts as f64)).collect()
+    }
+
+    /// Number of completed ProbeBW cycles visible in a flow's phase series:
+    /// transitions *into* the 1.25 up-probe phase (BBRv1 labels it
+    /// `"probe_bw:1.25"`, BBRv2 `"probe_bw:up"`).
+    pub fn probe_bw_cycles(&self, flow: u32) -> u64 {
+        let mut cycles = 0;
+        let mut prev_up = false;
+        for p in self.flow_samples.iter().filter(|p| p.flow == flow) {
+            let up = p.phase == "probe_bw:1.25" || p.phase == "probe_bw:up";
+            if up && !prev_up {
+                cycles += 1;
+            }
+            prev_up = up;
+        }
+        cycles
+    }
+}
+
+/// The concrete [`Recorder`] the experiments layer installs: accumulates
+/// samples in memory and is consumed into a [`FlightRecord`] after the run.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    flow_samples: Vec<FlowPoint>,
+    queue_samples: Vec<QueuePoint>,
+    events: Vec<EventPoint>,
+    events_truncated: u64,
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Number of flow samples captured so far.
+    pub fn flow_sample_count(&self) -> usize {
+        self.flow_samples.len()
+    }
+
+    /// Consume the recorder into the versioned artifact.
+    pub fn into_record(self, label: String, seed: u64, interval: SimDuration) -> FlightRecord {
+        FlightRecord {
+            schema_version: FLIGHT_RECORD_VERSION,
+            label,
+            seed,
+            sample_interval_s: interval.as_secs_f64(),
+            flow_samples: self.flow_samples,
+            queue_samples: self.queue_samples,
+            events: self.events,
+            events_truncated: self.events_truncated,
+        }
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn on_flow_sample(&mut self, s: &FlowSample) {
+        self.flow_samples.push(FlowPoint {
+            t_s: s.t.as_nanos() as f64 / 1e9,
+            flow: s.flow.0,
+            cwnd: s.probe.cwnd,
+            pacing_bps: s.probe.pacing_rate,
+            srtt_s: s.probe.srtt.map(|d| d.as_secs_f64()),
+            inflight: s.probe.inflight,
+            phase: s.probe.phase.to_string(),
+        });
+    }
+
+    fn on_queue_sample(&mut self, s: &QueueSample) {
+        self.queue_samples.push(QueuePoint {
+            t_s: s.t.as_nanos() as f64 / 1e9,
+            backlog_pkts: s.backlog_pkts,
+            backlog_bytes: s.backlog_bytes,
+            dropped: s.dropped,
+            marked: s.marked,
+            control: s.control,
+        });
+    }
+
+    fn on_trace_event(&mut self, e: &TraceEvent) {
+        self.events.push(EventPoint {
+            t_s: e.t.as_nanos() as f64 / 1e9,
+            kind: e.kind.label().to_string(),
+            flow: if e.flow == TRACE_NO_FLOW { u32::MAX } else { e.flow.0 },
+            seq: e.seq,
+            size: e.size,
+        });
+    }
+
+    fn on_trace_truncated(&mut self, count: u64) {
+        self.events_truncated = count;
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elephants_json::ToJson;
+    use elephants_netsim::{FlowId, FlowProbe, SimTime, TraceEventKind};
+
+    fn sample(t_ms: u64, flow: u32, cwnd: u64, phase: &'static str) -> FlowSample {
+        FlowSample {
+            t: SimTime::ZERO + SimDuration::from_millis(t_ms),
+            flow: FlowId(flow),
+            probe: FlowProbe {
+                cwnd,
+                pacing_rate: Some(1_000_000),
+                srtt: Some(SimDuration::from_millis(62)),
+                inflight: cwnd / 2,
+                phase,
+            },
+        }
+    }
+
+    fn record_with_phases(phases: &[&'static str]) -> FlightRecord {
+        let mut rec = FlightRecorder::new();
+        for (i, ph) in phases.iter().enumerate() {
+            rec.on_flow_sample(&sample(i as u64 * 10, 0, 10_000, ph));
+        }
+        rec.into_record("test".into(), 1, SimDuration::from_millis(10))
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let mut rec = FlightRecorder::new();
+        rec.on_flow_sample(&sample(10, 0, 14_800, "slow_start"));
+        rec.on_flow_sample(&sample(20, 1, 29_600, "probe_bw:1.25"));
+        rec.on_queue_sample(&QueueSample {
+            t: SimTime::ZERO + SimDuration::from_millis(10),
+            backlog_pkts: 12,
+            backlog_bytes: 18_000,
+            dropped: 3,
+            marked: 0,
+            control: Some(0.25),
+        });
+        rec.on_trace_event(&TraceEvent {
+            t: SimTime::ZERO + SimDuration::from_millis(5),
+            kind: TraceEventKind::Drop,
+            flow: FlowId(1),
+            seq: 77,
+            size: 1500,
+        });
+        rec.on_trace_truncated(9);
+        let record = rec.into_record("cubic-vs-bbr1".into(), 42, SimDuration::from_millis(10));
+        let json = record.to_json_string();
+        let back = FlightRecord::parse(&json).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(back.schema_version, FLIGHT_RECORD_VERSION);
+        assert_eq!(back.events_truncated, 9);
+        assert_eq!(back.flow_ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let record = FlightRecorder::new().into_record("x".into(), 0, SimDuration::from_millis(1));
+        let json = record.to_json_string().replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = FlightRecord::parse(&json).unwrap_err();
+        assert!(err.to_string().contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn probe_bw_cycle_counting() {
+        // Three entries into the up-probe phase = 3 cycles; consecutive
+        // up-probe samples count once.
+        let rec = record_with_phases(&[
+            "startup",
+            "drain",
+            "probe_bw:1.25",
+            "probe_bw:1.25",
+            "probe_bw:0.75",
+            "probe_bw:1.00",
+            "probe_bw:1.25",
+            "probe_bw:0.75",
+            "probe_rtt",
+            "probe_bw:1.25",
+        ]);
+        assert_eq!(rec.probe_bw_cycles(0), 3);
+        assert_eq!(rec.probe_bw_cycles(1), 0, "unknown flow has no cycles");
+    }
+
+    #[test]
+    fn series_extraction() {
+        let rec = record_with_phases(&["startup", "drain"]);
+        let cwnd = rec.cwnd_series(0);
+        assert_eq!(cwnd.len(), 2);
+        assert!((cwnd[0].0 - 0.0).abs() < 1e-12);
+        assert!((cwnd[1].0 - 0.01).abs() < 1e-12);
+        assert_eq!(cwnd[0].1, 10_000.0);
+        assert!(rec.queue_series().is_empty());
+    }
+}

@@ -14,16 +14,23 @@
 #                                variable-loss scenario through the
 #                                fault-tolerant sweep binary in quick mode
 #                                and assert zero failed cells
+#   scripts/ci.sh --record-smoke also run one short recorded scenario
+#                                through the probe binary with the full
+#                                flight recorder on; probe re-parses its own
+#                                record through the versioned parser, so a
+#                                schema regression fails here
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 bench_smoke=0
 fault_smoke=0
+record_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fault-smoke) fault_smoke=1 ;;
+    --record-smoke) record_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,4 +60,20 @@ if [[ "$fault_smoke" -eq 1 ]]; then
       exit 1
     fi
   done
+fi
+
+if [[ "$record_smoke" -eq 1 ]]; then
+  # One short recorded run with every channel on. The probe binary reads
+  # its record back through FlightRecord::parse (which rejects schema
+  # mismatches), so success here means the artifact is valid end to end;
+  # the grep asserts it actually got that far.
+  rec_dir="$(mktemp -d)"
+  trap 'rm -rf "$rec_dir"' EXIT
+  out="$(cargo run --release --offline -p elephants-experiments --bin probe -- \
+    --cca1 bbr1 --cca2 cubic --aqm fifo --queue 2 --bw 100M --secs 5 \
+    --record flows,queue,events --out "$rec_dir" 2>&1 | tee /dev/stderr)"
+  if ! grep -q 'record       :' <<<"$out"; then
+    echo "record smoke: probe did not verify a flight record" >&2
+    exit 1
+  fi
 fi

@@ -10,8 +10,8 @@
 
 use elephants::cca::CcaKind;
 use elephants::experiments::{
-    par_map_with_workers, run_scenario, run_scenario_traced, try_sweep_with_workers, RunCache,
-    RunOptions, ScenarioConfig,
+    par_map_with_workers, run_scenario_traced, try_sweep_with_workers, RunCache, RunOptions,
+    Runner, ScenarioConfig,
 };
 use elephants::json::ToJson;
 use elephants::netsim::{FaultPlan, LossModel};
@@ -64,7 +64,7 @@ fn sweep_json_is_identical_across_worker_counts() {
 
     let sweep_json = |workers: usize| -> String {
         par_map_with_workers(&work, workers, |&(i, seed)| {
-            run_scenario(&grid[i], seed).expect("run must succeed")
+            Runner::new(&grid[i]).seed(seed).run().expect("run must succeed").into_first()
         })
         .to_json_string()
     };

@@ -199,7 +199,7 @@ fn fq_codel_backlog_bytes_never_negative_nor_leaks() {
 fn simulation_is_deterministic() {
     run_cases("simulation_is_deterministic", 16, |rng| {
         use elephants::cca::CcaKind;
-        use elephants::experiments::{run_scenario, RunOptions, ScenarioConfig};
+        use elephants::experiments::{RunOptions, Runner, ScenarioConfig};
         use elephants::AqmKind;
         let seed = rng.random_range(0u64..1000);
         let q = rng.random_range(1usize..4);
@@ -212,8 +212,8 @@ fn simulation_is_deterministic() {
             100_000_000,
             &RunOptions::quick(),
         );
-        let a = run_scenario(&cfg, seed).expect("run must succeed");
-        let b = run_scenario(&cfg, seed).expect("run must succeed");
+        let a = Runner::new(&cfg).seed(seed).run().expect("run must succeed").into_first();
+        let b = Runner::new(&cfg).seed(seed).run().expect("run must succeed").into_first();
         prop_check_eq!(a.events, b.events);
         prop_check_eq!(a.sender_mbps, b.sender_mbps);
         prop_check_eq!(a.retransmits, b.retransmits);
