@@ -8,7 +8,10 @@
 //! [`CodelState`] is the reusable control-law core; [`Codel`] wraps it into
 //! a standalone discipline, and `FqCodel` embeds one state per flow queue.
 
-use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimDuration, SimTime, Verdict};
+use elephants_netsim::{
+    queue_accounting_failure, Aqm, AqmStats, CheckFailure, DequeueResult, Packet, SimDuration,
+    SimTime, Verdict,
+};
 use elephants_json::impl_json_struct;
 use elephants_netsim::SmallRng;
 use std::collections::VecDeque;
@@ -263,6 +266,33 @@ impl Aqm for Codel {
 
     fn name(&self) -> &'static str {
         "codel"
+    }
+
+    fn check_invariants(&self, now: SimTime, deep: bool) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        if let Some(f) = queue_accounting_failure(self.stats, self.queue.len() as u64) {
+            fails.push(f);
+        }
+        if deep {
+            let sum: u64 = self.queue.iter().map(|p| p.size as u64).sum();
+            if sum != self.backlog {
+                let backlog = self.backlog;
+                fails.push(CheckFailure::new(
+                    "queue_byte_accounting",
+                    format!("backlog counter {backlog} != sum of resident sizes {sum}"),
+                ));
+            }
+            // Sojourn ≥ 0 by construction (`SimTime::since` saturates), so
+            // the checkable form is: no resident enqueue stamp in the future.
+            if let Some(p) = self.queue.iter().find(|p| p.enqueued_at > now) {
+                let at = p.enqueued_at;
+                fails.push(CheckFailure::new(
+                    "queue_sojourn",
+                    format!("resident packet enqueued in the future ({at} > {now})"),
+                ));
+            }
+        }
+        fails
     }
 }
 

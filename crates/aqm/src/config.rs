@@ -125,6 +125,42 @@ mod tests {
     }
 
     #[test]
+    fn every_discipline_holds_its_invariants_under_drop_heavy_traffic() {
+        use elephants_netsim::{FlowId, NodeId, Packet, SeedableRng, SimDuration, SimTime, SmallRng};
+        for kind in [AqmKind::Fifo, AqmKind::Red, AqmKind::FqCodel, AqmKind::Codel, AqmKind::Pie] {
+            // A buffer small enough that the workload overflows it, forcing
+            // every drop path (tail, probabilistic, eviction) to fire.
+            let mut aqm = build_aqm(kind, 40_000, 100_000_000, 1000, false, 7);
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut t = SimTime::ZERO;
+            for round in 0..200u64 {
+                t += SimDuration::from_micros(50);
+                for f in 0..4u32 {
+                    let p = Packet::data(FlowId(f), NodeId(0), NodeId(1), round, 900 + 50 * f, t);
+                    aqm.enqueue(p, t, &mut rng);
+                }
+                if round % 3 == 0 {
+                    aqm.dequeue(t, &mut rng);
+                }
+                let fails = aqm.check_invariants(t, false);
+                assert!(fails.is_empty(), "{kind}: shallow check failed: {fails:?}");
+            }
+            // Drain, deep-checking along the way.
+            loop {
+                t += SimDuration::from_micros(200);
+                let done = aqm.dequeue(t, &mut rng).pkt.is_none();
+                let fails = aqm.check_invariants(t, true);
+                assert!(fails.is_empty(), "{kind}: deep check failed: {fails:?}");
+                if done {
+                    break;
+                }
+            }
+            assert_eq!(aqm.backlog_pkts(), 0, "{kind}: queue must drain");
+            assert!(aqm.stats().dropped_enqueue + aqm.stats().dropped_dequeue > 0, "{kind}: workload must overflow");
+        }
+    }
+
+    #[test]
     fn tiny_buffers_are_clamped_to_sane_minimums() {
         // A 0.5 BDP buffer at 100 Mbps is ~390 kB, but make sure degenerate
         // small values don't produce unusable queues.

@@ -8,7 +8,7 @@
 //! from heavy ones.
 
 use crate::codel::{CodelConfig, CodelState};
-use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
+use elephants_netsim::{Aqm, AqmStats, CheckFailure, DequeueResult, Packet, SimTime, Verdict};
 use elephants_json::impl_json_struct;
 use elephants_netsim::SmallRng;
 use std::collections::VecDeque;
@@ -89,6 +89,11 @@ pub struct FqCodel {
     old_flows: VecDeque<usize>,
     total_pkts: usize,
     total_bytes: u64,
+    /// Packets accepted (counted in `stats.enqueued`) and later evicted by
+    /// the fattest-flow overflow policy. Unlike the other disciplines, those
+    /// drops remove packets that were already on the `enqueued` side of the
+    /// ledger, so the accounting invariant needs them as a separate term.
+    evicted_accepted: u64,
     stats: AqmStats,
 }
 
@@ -103,6 +108,7 @@ impl FqCodel {
             old_flows: VecDeque::new(),
             total_pkts: 0,
             total_bytes: 0,
+            evicted_accepted: 0,
             stats: AqmStats::default(),
             cfg,
         }
@@ -166,6 +172,8 @@ impl Aqm for FqCodel {
                 Some(d) => {
                     if (d.flow, d.seq, d.kind) == key {
                         own_dropped = true;
+                    } else {
+                        self.evicted_accepted += 1;
                     }
                 }
                 None => break,
@@ -271,6 +279,78 @@ impl Aqm for FqCodel {
 
     fn name(&self) -> &'static str {
         "fq_codel"
+    }
+
+    fn check_invariants(&self, now: SimTime, deep: bool) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        // FQ-CoDel's overflow policy evicts packets that were already counted
+        // as enqueued, so the shared accounting identity gains an eviction
+        // term relative to the other disciplines.
+        let s = self.stats;
+        let expect = s.dequeued + s.dropped_dequeue + self.evicted_accepted + self.total_pkts as u64;
+        if s.enqueued != expect {
+            let (e, d, dd, ev, r) =
+                (s.enqueued, s.dequeued, s.dropped_dequeue, self.evicted_accepted, self.total_pkts);
+            fails.push(CheckFailure::new(
+                "queue_accounting",
+                format!("enqueued {e} != dequeued {d} + dropped_dequeue {dd} + evicted {ev} + resident {r}"),
+            ));
+        }
+        if deep {
+            let mut pkts = 0usize;
+            let mut bytes = 0u64;
+            for (idx, b) in self.buckets.iter().enumerate() {
+                pkts += b.queue.len();
+                bytes += b.backlog;
+                let sum: u64 = b.queue.iter().map(|p| p.size as u64).sum();
+                if sum != b.backlog {
+                    let backlog = b.backlog;
+                    fails.push(CheckFailure::new(
+                        "queue_byte_accounting",
+                        format!("bucket {idx}: backlog counter {backlog} != sum of resident sizes {sum}"),
+                    ));
+                }
+                if let Some(p) = b.queue.iter().find(|p| p.enqueued_at > now) {
+                    let at = p.enqueued_at;
+                    fails.push(CheckFailure::new(
+                        "queue_sojourn",
+                        format!("bucket {idx}: resident packet enqueued in the future ({at} > {now})"),
+                    ));
+                }
+                // DRR list discipline: a non-idle bucket sits on exactly one
+                // service list, and an idle bucket never holds packets
+                // (eviction may leave a listed bucket empty; dequeue reaps it
+                // lazily, so the converse is allowed).
+                let on_new = self.new_flows.iter().filter(|&&i| i == idx).count();
+                let on_old = self.old_flows.iter().filter(|&&i| i == idx).count();
+                let want = match b.state {
+                    ListState::Idle => (0, 0),
+                    ListState::New => (1, 0),
+                    ListState::Old => (0, 1),
+                };
+                if (on_new, on_old) != want {
+                    let state = b.state;
+                    fails.push(CheckFailure::new(
+                        "fq_codel_drr_lists",
+                        format!("bucket {idx} state {state:?} but appears {on_new}x on new / {on_old}x on old list"),
+                    ));
+                }
+                if b.state == ListState::Idle && !b.queue.is_empty() {
+                    fails.push(CheckFailure::new(
+                        "fq_codel_drr_lists",
+                        format!("bucket {idx} idle with {} resident packets", b.queue.len()),
+                    ));
+                }
+            }
+            if pkts != self.total_pkts || bytes != self.total_bytes {
+                let (tp, tb) = (self.total_pkts, self.total_bytes);
+                fails.push(CheckFailure::new(
+                    "queue_byte_accounting",
+                    format!("totals ({tp} pkts, {tb} bytes) != bucket sums ({pkts} pkts, {bytes} bytes)"),
+                ));
+            }
+        }
+        fails
     }
 }
 

@@ -17,7 +17,10 @@
 //! with the RFC's auto-scaling of `alpha`/`beta` when `p` is small, burst
 //! allowance, and the p < 0.2 ⇒ "don't drop below-target" safeguards.
 
-use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimDuration, SimTime, Verdict};
+use elephants_netsim::{
+    queue_accounting_failure, Aqm, AqmStats, CheckFailure, DequeueResult, Packet, SimDuration,
+    SimTime, Verdict,
+};
 use elephants_json::impl_json_struct;
 use elephants_netsim::{RngExt, SmallRng};
 use std::collections::VecDeque;
@@ -230,6 +233,38 @@ impl Aqm for Pie {
 
     fn control_state(&self) -> Option<f64> {
         Some(self.drop_probability())
+    }
+
+    fn check_invariants(&self, now: SimTime, deep: bool) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        if let Some(f) = queue_accounting_failure(self.stats, self.queue.len() as u64) {
+            fails.push(f);
+        }
+        if !self.p.is_finite() || !(0.0..=1.0).contains(&self.p) {
+            let p = self.p;
+            fails.push(CheckFailure::new(
+                "pie_drop_probability",
+                format!("drop probability {p} outside [0, 1]"),
+            ));
+        }
+        if deep {
+            let sum: u64 = self.queue.iter().map(|p| p.size as u64).sum();
+            if sum != self.backlog {
+                let backlog = self.backlog;
+                fails.push(CheckFailure::new(
+                    "queue_byte_accounting",
+                    format!("backlog counter {backlog} != sum of resident sizes {sum}"),
+                ));
+            }
+            if let Some(p) = self.queue.iter().find(|p| p.enqueued_at > now) {
+                let at = p.enqueued_at;
+                fails.push(CheckFailure::new(
+                    "queue_sojourn",
+                    format!("resident packet enqueued in the future ({at} > {now})"),
+                ));
+            }
+        }
+        fails
     }
 }
 

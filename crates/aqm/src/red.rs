@@ -9,7 +9,7 @@
 //! The EWMA decays during idle periods as if small packets had departed, per
 //! the original paper (§Appendix) and `tc red`'s `red_calc_qavg_from_idle_time`.
 
-use elephants_netsim::{Aqm, AqmStats, DequeueResult, Packet, SimTime, Verdict};
+use elephants_netsim::{queue_accounting_failure, Aqm, AqmStats, CheckFailure, DequeueResult, Packet, SimTime, Verdict};
 use elephants_json::impl_json_struct;
 use elephants_netsim::{RngExt, SmallRng};
 use std::collections::VecDeque;
@@ -275,6 +275,41 @@ impl Aqm for Red {
 
     fn control_state(&self) -> Option<f64> {
         Some(self.avg_queue())
+    }
+
+    fn check_invariants(&self, now: SimTime, deep: bool) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        if let Some(f) = queue_accounting_failure(self.stats, self.queue.len() as u64) {
+            fails.push(f);
+        }
+        // The EWMA tracks the backlog, which the hard limit bounds; an
+        // average outside [0, limit] (or NaN) means the control law drifted.
+        let limit = self.cfg.limit_bytes as f64;
+        if !self.avg.is_finite() || self.avg < 0.0 || self.avg > limit {
+            let avg = self.avg;
+            fails.push(CheckFailure::new(
+                "red_avg_range",
+                format!("average queue {avg} outside [0, {limit}]"),
+            ));
+        }
+        if deep {
+            let sum: u64 = self.queue.iter().map(|p| p.size as u64).sum();
+            if sum != self.backlog {
+                let backlog = self.backlog;
+                fails.push(CheckFailure::new(
+                    "queue_byte_accounting",
+                    format!("backlog counter {backlog} != sum of resident sizes {sum}"),
+                ));
+            }
+            if let Some(p) = self.queue.iter().find(|p| p.enqueued_at > now) {
+                let at = p.enqueued_at;
+                fails.push(CheckFailure::new(
+                    "queue_sojourn",
+                    format!("resident packet enqueued in the future ({at} > {now})"),
+                ));
+            }
+        }
+        fails
     }
 }
 

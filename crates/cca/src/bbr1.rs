@@ -414,6 +414,24 @@ impl CongestionControl for BbrV1 {
             pacing_gain: Some(self.pacing_gain),
         }
     }
+
+    fn check_invariants(&self, mss: u32) -> Vec<elephants_netsim::CheckFailure> {
+        let mut fails = crate::generic_cca_failures(self.cwnd(), &self.state_snapshot(), mss);
+        if self.cycle_index >= PROBE_BW_GAINS.len() {
+            let i = self.cycle_index;
+            fails.push(elephants_netsim::CheckFailure::new(
+                "bbr_cycle_index",
+                format!("ProbeBW gain-cycle index {i} out of range 0..{}", PROBE_BW_GAINS.len()),
+            ));
+        }
+        if !self.bw_filter.is_monotone() {
+            fails.push(elephants_netsim::CheckFailure::new(
+                "bbr_filter_monotone",
+                "bandwidth max-filter deque lost its monotonic order".to_string(),
+            ));
+        }
+        fails
+    }
 }
 
 #[cfg(test)]

@@ -597,6 +597,24 @@ impl CongestionControl for BbrV2 {
             pacing_gain: Some(self.pacing_gain),
         }
     }
+
+    fn check_invariants(&self, mss: u32) -> Vec<elephants_netsim::CheckFailure> {
+        let mut fails = crate::generic_cca_failures(self.cwnd(), &self.state_snapshot(), mss);
+        if self.inflight_hi < self.min_pipe_cwnd() {
+            let (hi, floor) = (self.inflight_hi, self.min_pipe_cwnd());
+            fails.push(elephants_netsim::CheckFailure::new(
+                "bbr2_inflight_hi",
+                format!("inflight_hi {hi} below the {floor}-byte pipe floor"),
+            ));
+        }
+        if !self.bw_filter.is_monotone() {
+            fails.push(elephants_netsim::CheckFailure::new(
+                "bbr_filter_monotone",
+                "bandwidth max-filter deque lost its monotonic order".to_string(),
+            ));
+        }
+        fails
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,15 @@ impl WindowedMaxByRound {
     pub fn reset(&mut self) {
         self.samples.clear();
     }
+
+    /// Structural invariant of the monotonic deque (checker probe):
+    /// values strictly decreasing and rounds nondecreasing front→back.
+    pub fn is_monotone(&self) -> bool {
+        self.samples
+            .iter()
+            .zip(self.samples.iter().skip(1))
+            .all(|(&(r0, v0), &(r1, v1))| v0 > v1 && r0 <= r1)
+    }
 }
 
 /// Sliding-window **minimum** keyed by timestamp.
@@ -107,6 +116,15 @@ impl WindowedMinByTime {
     /// Drop all state.
     pub fn reset(&mut self) {
         self.samples.clear();
+    }
+
+    /// Structural invariant of the monotonic deque (checker probe):
+    /// values strictly increasing and timestamps nondecreasing front→back.
+    pub fn is_monotone(&self) -> bool {
+        self.samples
+            .iter()
+            .zip(self.samples.iter().skip(1))
+            .all(|(&(t0, v0), &(t1, v1))| v0 < v1 && t0 <= t1)
     }
 }
 

@@ -31,7 +31,7 @@ pub use filters::{WindowedMaxByRound, WindowedMinByTime};
 pub use htcp::{Htcp, HtcpConfig};
 pub use reno::Reno;
 
-use elephants_netsim::{SimDuration, SimTime};
+use elephants_netsim::{CheckFailure, SimDuration, SimTime};
 use elephants_json::impl_json_unit_enum;
 
 /// Everything a congestion controller learns from one incoming ACK.
@@ -141,6 +141,44 @@ pub trait CongestionControl: Send {
             pacing_gain: None,
         }
     }
+
+    /// Invariant probe for the strict-mode checker. Read-only — must not
+    /// mutate state. The default enforces the generic contract via
+    /// [`generic_cca_failures`]; implementations layer algorithm-specific
+    /// structure on top (BBR's gain-cycle index range, bandwidth-filter
+    /// monotonicity) and must include the generic checks too.
+    fn check_invariants(&self, mss: u32) -> Vec<CheckFailure> {
+        generic_cca_failures(self.cwnd(), &self.state_snapshot(), mss)
+    }
+}
+
+/// The generic congestion-controller contract every algorithm must hold:
+/// cwnd at least one MSS, a finite positive pacing gain, and — for paced
+/// CCAs — a nonzero pacing rate (a paced flow with rate 0 never sends
+/// again). Shared by the trait default and algorithm-specific overrides.
+pub fn generic_cca_failures(cwnd: u64, snap: &CcaState, mss: u32) -> Vec<CheckFailure> {
+    let mut fails = Vec::new();
+    if cwnd < mss as u64 {
+        fails.push(CheckFailure::new(
+            "cca_cwnd_floor",
+            format!("cwnd {cwnd} below one MSS ({mss})"),
+        ));
+    }
+    if let Some(g) = snap.pacing_gain {
+        if !g.is_finite() || g <= 0.0 {
+            fails.push(CheckFailure::new(
+                "cca_pacing_gain",
+                format!("pacing gain {g} not finite and positive"),
+            ));
+        }
+    }
+    if snap.pacing_rate == Some(0) {
+        fails.push(CheckFailure::new(
+            "cca_pacing_rate",
+            "paced CCA reports pacing rate 0 (flow would stall forever)".to_string(),
+        ));
+    }
+    fails
 }
 
 /// One telemetry read-out of a congestion controller (see

@@ -9,7 +9,7 @@
 
 use elephants_experiments::prelude::*;
 use elephants_experiments::runner::DEFAULT_SAMPLE_INTERVAL;
-use elephants_netsim::SimDuration;
+use elephants_netsim::{CheckMode, SimDuration};
 use elephants_telemetry::FlightRecord;
 
 fn main() {
@@ -24,6 +24,7 @@ fn main() {
     let mut out_dir = "results".to_string();
     let mut record: Option<Recording> = None;
     let mut interval = DEFAULT_SAMPLE_INTERVAL;
+    let mut check = CheckMode::Off;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -48,6 +49,7 @@ fn main() {
             "--scale" => scale = val().parse().unwrap(),
             "--out" => out_dir = val(),
             "--record" => record = Some(Recording::parse(&val()).unwrap()),
+            "--check" => check = val().parse().unwrap(),
             "--sample-interval" => {
                 let ms: f64 = val().parse().unwrap();
                 assert!(ms > 0.0, "--sample-interval must be positive");
@@ -63,14 +65,15 @@ fn main() {
         .build()
         .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
 
-    let mut runner = Runner::new(&cfg).seed(seed);
+    let mut runner = Runner::new(&cfg).seed(seed).check(check);
     if let Some(rec) = record {
         runner = runner.recorder(rec.interval(interval).out_dir(format!("{out_dir}/records")));
     }
-    let r = runner
+    let outcome = runner
         .run()
-        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
-        .into_first();
+        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()));
+    let check_summary = outcome.check_reports.first().map(|rep| rep.summary_line());
+    let r = outcome.into_first();
     println!("{}", cfg.label());
     println!("  flows        : {}", r.flows);
     println!("  sender1      : {:.2} Mbps ({})", r.sender_mbps[0], cca1.pretty());
@@ -81,6 +84,9 @@ fn main() {
     println!("  rtos         : {}", r.rtos);
     println!("  drops        : {}", r.drops);
     println!("  events       : {}", r.events);
+    if let Some(line) = check_summary {
+        println!("  check        : {line}");
+    }
 
     // Close the loop on the artifact: read it back through the versioned
     // parser so a schema regression fails here, not in a notebook later.

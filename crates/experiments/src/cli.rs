@@ -16,11 +16,14 @@
 //! * `--record CHANNELS` — attach the flight recorder to the base-seed run:
 //!   a comma-separated subset of `flows`, `queue`, `events`
 //! * `--sample-interval MS` — flight-recorder sample spacing in ms
+//! * `--check MODE` — runtime invariant checking: `off` (default), `audit`
+//!   (count violations, report them in the outcome) or `strict` (panic on
+//!   the first violation; a sweep degrades the cell to a failed run)
 
 use crate::cache::RunCache;
 use crate::runner::Recording;
 use crate::scenario::{DurationPreset, RunOptions, ScenarioConfig, PAPER_BWS};
-use elephants_netsim::{FaultPlan, LossModel, SimDuration};
+use elephants_netsim::{CheckMode, FaultPlan, LossModel, SimDuration};
 
 /// Parsed command line for a figure binary.
 #[derive(Debug, Clone)]
@@ -41,6 +44,8 @@ pub struct Cli {
     pub limit: Option<usize>,
     /// Flight recording requested with `--record` (`None` = don't record).
     pub record: Option<Recording>,
+    /// Invariant-checking mode requested with `--check` (default: off).
+    pub check: CheckMode,
 }
 
 fn parse_loss(s: &str) -> Result<LossModel, String> {
@@ -106,6 +111,7 @@ impl Cli {
         let mut limit = None;
         let mut record: Option<Recording> = None;
         let mut sample_interval: Option<SimDuration> = None;
+        let mut check = CheckMode::Off;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -142,6 +148,7 @@ impl Cli {
                     limit = Some(n);
                 }
                 "--record" => record = Some(Recording::parse(&need("--record")?)?),
+                "--check" => check = need("--check")?.parse()?,
                 "--sample-interval" => {
                     let ms: f64 = need("--sample-interval")?
                         .parse()
@@ -165,7 +172,7 @@ impl Cli {
         if let Some(rec) = record.take() {
             record = Some(rec.out_dir(format!("{out_dir}/records")));
         }
-        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record })
+        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record, check })
     }
 
     /// Copy the CLI's fault knobs (`--loss`, `--flap`) into a scenario and
@@ -178,9 +185,18 @@ impl Cli {
     }
 
     /// Parse the process arguments, exiting with a message on error.
+    ///
+    /// Also installs the parsed `--check` mode as the process-wide default
+    /// (see [`crate::runner::set_default_check_mode`]), so every runner the
+    /// binary builds afterwards — including the ones a sweep spawns on
+    /// worker threads — inherits it. Done here, not in [`Cli::parse_from`],
+    /// so library tests parsing argument lists never mutate global state.
     pub fn parse() -> Cli {
         match Cli::parse_from(std::env::args().skip(1)) {
-            Ok(cli) => cli,
+            Ok(cli) => {
+                crate::runner::set_default_check_mode(cli.check);
+                cli
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 std::process::exit(2);
@@ -194,7 +210,7 @@ usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
                        [--bw 100M,1G,25G] [--no-cache] [--out DIR]
                        [--loss none|bernoulli:P|ge:P_GB,P_BG] [--flap START,DUR]
                        [--limit N] [--record flows[,queue,events]]
-                       [--sample-interval MS]";
+                       [--sample-interval MS] [--check off|audit|strict]";
 
 #[cfg(test)]
 mod tests {
@@ -279,6 +295,17 @@ mod tests {
         assert!(parse(&["--record", "nope"]).is_err());
         assert!(parse(&["--sample-interval", "50"]).is_err(), "needs --record");
         assert!(parse(&["--record", "flows", "--sample-interval", "0"]).is_err());
+    }
+
+    #[test]
+    fn check_flag_parses() {
+        assert_eq!(parse(&[]).unwrap().check, CheckMode::Off);
+        assert_eq!(parse(&["--check", "off"]).unwrap().check, CheckMode::Off);
+        assert_eq!(parse(&["--check", "audit"]).unwrap().check, CheckMode::Audit);
+        assert_eq!(parse(&["--check", "strict"]).unwrap().check, CheckMode::Strict);
+        assert_eq!(parse(&["--check", "STRICT"]).unwrap().check, CheckMode::Strict);
+        assert!(parse(&["--check", "paranoid"]).is_err());
+        assert!(parse(&["--check"]).is_err());
     }
 
     #[test]

@@ -26,13 +26,14 @@ use elephants_cca::build_cca_seeded;
 use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
 use elephants_metrics::{RunMetrics, SenderThroughput};
 use elephants_netsim::{
-    DumbbellSpec, RecorderConfig, SimConfig, SimDuration, SimTime, Simulator,
+    CheckMode, CheckReport, DumbbellSpec, RecorderConfig, SimConfig, SimDuration, SimTime,
+    Simulator,
 };
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_telemetry::{FlightRecord, FlightRecorder};
 use elephants_workload::plan_flows;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
 
 /// How many runs had a degenerate (zero-width) measurement window clamped
@@ -43,6 +44,25 @@ static DEGENERATE_WINDOW_RUNS: AtomicU64 = AtomicU64::new(0);
 /// Number of runs so far whose measurement window had to be clamped.
 pub fn degenerate_window_runs() -> u64 {
     DEGENERATE_WINDOW_RUNS.load(Ordering::Relaxed)
+}
+
+/// Process-wide default invariant-checking mode, picked up by every
+/// [`Runner`] built after it is set (the CLI sets it from `--check` once,
+/// before any sweep spawns workers). Stored as the `CheckMode` discriminant.
+static CHECK_MODE: AtomicU8 = AtomicU8::new(CheckMode::Off as u8);
+
+/// Set the process-wide default invariant-checking mode.
+pub fn set_default_check_mode(mode: CheckMode) {
+    CHECK_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default invariant-checking mode.
+pub fn default_check_mode() -> CheckMode {
+    match CHECK_MODE.load(Ordering::Relaxed) {
+        x if x == CheckMode::Audit as u8 => CheckMode::Audit,
+        x if x == CheckMode::Strict as u8 => CheckMode::Strict,
+        _ => CheckMode::Off,
+    }
 }
 
 /// Why a single (config, seed) run failed.
@@ -269,6 +289,12 @@ pub struct RunOutcome {
     pub config: ScenarioConfig,
     /// Per-repeat results; never empty.
     pub runs: Vec<RunResult>,
+    /// One invariant-check report per repeat when checking was enabled
+    /// (audit or strict), in the same order as `runs`; empty otherwise.
+    /// Deliberately *not* part of [`RunResult`]: the cache and figure
+    /// pipelines consume `runs`, and the checker must never change what
+    /// they see.
+    pub check_reports: Vec<CheckReport>,
 }
 
 impl RunOutcome {
@@ -285,6 +311,12 @@ impl RunOutcome {
     /// Path of the flight record, if the base-seed run recorded one.
     pub fn record_path(&self) -> Option<&str> {
         self.first().record_path.as_deref()
+    }
+
+    /// Total invariant violations across all repeats (0 when checking was
+    /// off or every run was clean).
+    pub fn check_violations(&self) -> u64 {
+        self.check_reports.iter().map(|r| r.violations_total).sum()
     }
 
     /// Average the repeats (see [`average_runs`]).
@@ -314,11 +346,13 @@ pub struct Runner {
     wall_limit: Duration,
     repeats: u32,
     recording: Option<Recording>,
+    check: CheckMode,
 }
 
 impl Runner {
     /// A runner for `cfg` with defaults: the config's own base seed, the
-    /// default wall limit, one repeat, no recording.
+    /// default wall limit, one repeat, no recording, and the process-wide
+    /// default check mode ([`default_check_mode`], normally off).
     pub fn new(cfg: &ScenarioConfig) -> Self {
         Runner {
             cfg: cfg.clone(),
@@ -326,6 +360,7 @@ impl Runner {
             wall_limit: DEFAULT_WALL_LIMIT,
             repeats: 1,
             recording: None,
+            check: default_check_mode(),
         }
     }
 
@@ -354,18 +389,32 @@ impl Runner {
         self
     }
 
+    /// Override the invariant-checking mode for this runner. In `Strict`
+    /// mode a violation panics inside the run (the sweep executor isolates
+    /// worker panics into failed cells); in `Audit` mode violations are
+    /// counted and returned in [`RunOutcome::check_reports`] without
+    /// changing any metric.
+    pub fn check(mut self, mode: CheckMode) -> Self {
+        self.check = mode;
+        self
+    }
+
     /// Execute: `repeats` runs at consecutive seeds, failing fast on the
     /// first error.
     pub fn run(self) -> Result<RunOutcome, RunError> {
         let base = self.seed.unwrap_or(self.cfg.seed);
         let mut runs = Vec::with_capacity(self.repeats as usize);
+        let mut check_reports = Vec::new();
         for r in 0..self.repeats.max(1) {
             // Record only the base-seed run: the artifact is for dynamics
             // figures, and repeats exist to average metrics, not figures.
             let rec = if r == 0 { self.recording.as_ref() } else { None };
-            runs.push(run_one(&self.cfg, base + r as u64, self.wall_limit, rec)?);
+            let (result, report) =
+                run_one(&self.cfg, base + r as u64, self.wall_limit, rec, self.check)?;
+            runs.push(result);
+            check_reports.extend(report);
         }
-        Ok(RunOutcome { config: self.cfg, runs })
+        Ok(RunOutcome { config: self.cfg, runs, check_reports })
     }
 }
 
@@ -380,7 +429,8 @@ fn run_one(
     seed: u64,
     wall_limit: Duration,
     recording: Option<&Recording>,
-) -> Result<RunResult, RunError> {
+    check: CheckMode,
+) -> Result<(RunResult, Option<CheckReport>), RunError> {
     if let Err(detail) = cfg.validate() {
         return Err(RunError { kind: RunErrorKind::InvalidConfig, detail });
     }
@@ -408,6 +458,7 @@ fn run_one(
     };
     let sim_cfg = SimConfig { duration: cfg.duration, warmup, max_events: cfg.max_events };
     let mut sim = Simulator::new(topo, sim_cfg, seed);
+    sim.set_check_mode(check);
 
     if let Some(rec) = recording {
         if rec.flows || rec.queue {
@@ -484,6 +535,7 @@ fn run_one(
         }
     }
     let summary = sim.finalize();
+    let check_report = sim.take_check_report();
 
     let record_path = match recording {
         Some(rec) => Some(write_record(&mut sim, cfg, seed, rec)?),
@@ -515,7 +567,7 @@ fn run_one(
     let wire_bps =
         if window_s > 0.0 { summary.bottleneck.bytes_tx_window as f64 * 8.0 / window_s } else { 0.0 };
     let utilization = elephants_metrics::link_utilization(wire_bps, cfg.bw_bps as f64);
-    Ok(RunResult {
+    let result = RunResult {
         sender_mbps: senders.iter().map(|s| s.goodput_bps / 1e6).collect(),
         jain,
         utilization,
@@ -527,7 +579,8 @@ fn run_one(
         events: summary.events_processed,
         peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
         record_path,
-    })
+    };
+    Ok((result, check_report))
 }
 
 /// Drain the recorder (and the bottleneck trace ring) out of a finished
@@ -815,6 +868,52 @@ mod tests {
         let new = run_seeded(&cfg, 5);
         assert_eq!(shim.metrics().to_json_string(), new.metrics().to_json_string());
         assert_eq!(shim.events, new.events);
+    }
+
+    #[test]
+    fn audit_checking_does_not_perturb_metrics_and_reports_clean() {
+        use elephants_netsim::CheckMode;
+        let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Red, 2.0, 100_000_000);
+        let plain = Runner::new(&cfg).seed(11).run().unwrap();
+        let audited = Runner::new(&cfg).seed(11).check(CheckMode::Audit).run().unwrap();
+        // The checker is a pure observer: paper metrics and the event count
+        // must be byte-identical with and without it.
+        assert_eq!(
+            plain.first().metrics().to_json_string(),
+            audited.first().metrics().to_json_string(),
+            "audit checking must not perturb run metrics"
+        );
+        assert_eq!(plain.first().events, audited.first().events);
+        assert!(plain.check_reports.is_empty(), "no report when checking is off");
+        assert_eq!(audited.check_reports.len(), 1);
+        let report = &audited.check_reports[0];
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.events_checked > 0, "checker must have observed events");
+    }
+
+    #[test]
+    fn strict_checking_passes_the_scenario_grid_sampler() {
+        use elephants_netsim::CheckMode;
+        // One cell per AQM keeps this debug-mode test quick; the release
+        // check-smoke lane in scripts/ci.sh covers the full CCA x AQM grid.
+        for aqm in [AqmKind::Fifo, AqmKind::Red, AqmKind::FqCodel, AqmKind::Codel, AqmKind::Pie] {
+            let cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, aqm, 2.0, 100_000_000);
+            let out = Runner::new(&cfg).seed(5).check(CheckMode::Strict).run().unwrap();
+            assert_eq!(out.check_violations(), 0, "{aqm}: strict run must be clean");
+            assert_eq!(out.check_reports.len(), 1);
+        }
+    }
+
+    #[test]
+    fn default_check_mode_round_trips_through_the_global() {
+        use elephants_netsim::CheckMode;
+        // Serialize against other tests touching the global by restoring it.
+        let before = default_check_mode();
+        set_default_check_mode(CheckMode::Audit);
+        assert_eq!(default_check_mode(), CheckMode::Audit);
+        let cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
+        assert_eq!(Runner::new(&cfg).check, CheckMode::Audit);
+        set_default_check_mode(before);
     }
 
     #[test]

@@ -226,6 +226,13 @@ impl EventQueue {
         self.arena.get(r)
     }
 
+    /// Packets currently parked in the arena (i.e. scheduled `Deliver`
+    /// events not yet popped) — the "in flight" term of the checker's
+    /// packet-conservation equation.
+    pub fn packets_live(&self) -> usize {
+        self.arena.live()
+    }
+
     #[inline]
     fn insert(&mut self, s: Scheduled) {
         self.len += 1;

@@ -38,6 +38,7 @@
 //! assert_eq!(topo.rtt(), SimDuration::from_millis(62));
 //! ```
 
+pub mod check;
 pub mod event;
 pub mod fault;
 pub mod link;
@@ -51,11 +52,12 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
+pub use check::{CheckFailure, CheckMode, CheckReport, Checker, Violation, MAX_STORED_VIOLATIONS};
 pub use event::{Event, EventQueue, TimerKind};
 pub use fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, ReorderModel};
 pub use link::{Link, LinkId, LinkSpec, LinkStats};
 pub use packet::{AckInfo, Dir, FlowId, NodeId, Packet, PacketArena, PacketKind, PacketRef, SACK_MAX};
-pub use queue::{Aqm, AqmStats, DequeueResult, DropTail, Verdict};
+pub use queue::{queue_accounting_failure, Aqm, AqmStats, DequeueResult, DropTail, Verdict};
 pub use record::{
     EventRing, FlowProbe, FlowSample, NullRecorder, QueueSample, Recorder, RecorderConfig,
     RecorderHandle, TraceEvent, TraceEventKind, TRACE_NO_FLOW,
@@ -68,6 +70,7 @@ pub use units::{bdp_bytes, Bandwidth};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
+    pub use crate::check::{CheckFailure, CheckMode, CheckReport};
     pub use crate::event::TimerKind;
     pub use crate::fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, ReorderModel};
     pub use crate::link::{LinkId, LinkSpec};

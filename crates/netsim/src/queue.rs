@@ -4,6 +4,7 @@
 //! `elephants-aqm` crate; the trait lives here so that [`crate::link::Link`]
 //! can own a `Box<dyn Aqm>` without a dependency cycle.
 
+use crate::check::CheckFailure;
 use crate::packet::Packet;
 use crate::time::SimTime;
 use crate::rng::SmallRng;
@@ -59,6 +60,23 @@ impl AqmStats {
     }
 }
 
+/// The O(1) accounting balance every discipline must satisfy: each packet
+/// accepted is eventually dequeued, dropped at dequeue, or still resident.
+/// Returns `None` when the books balance.
+pub fn queue_accounting_failure(s: AqmStats, resident_pkts: u64) -> Option<CheckFailure> {
+    if s.enqueued != s.dequeued + s.dropped_dequeue + resident_pkts {
+        let (e, d, dd) = (s.enqueued, s.dequeued, s.dropped_dequeue);
+        Some(CheckFailure::new(
+            "queue_accounting",
+            format!(
+                "enqueued {e} != dequeued {d} + dropped_dequeue {dd} + resident {resident_pkts}"
+            ),
+        ))
+    } else {
+        None
+    }
+}
+
 /// A queue discipline on a link's egress.
 ///
 /// Implementations must be deterministic given the same call sequence and
@@ -88,6 +106,20 @@ pub trait Aqm: Send {
     /// interval state machine) return `None` — the default.
     fn control_state(&self) -> Option<f64> {
         None
+    }
+
+    /// Invariant probe for the strict-mode checker. Read-only — must not
+    /// mutate state or draw randomness. The default enforces the O(1)
+    /// packet-accounting balance ([`queue_accounting_failure`]);
+    /// disciplines add their own control-law bounds (RED's average within
+    /// `[0, limit]`, PIE's probability in `[0, 1]`, CoDel sojourn stamps
+    /// not in the future). `deep` enables O(n) scans (per-packet byte
+    /// sums) that are affordable only at finalize.
+    fn check_invariants(&self, _now: SimTime, _deep: bool) -> Vec<CheckFailure> {
+        match queue_accounting_failure(self.stats(), self.backlog_pkts() as u64) {
+            Some(f) => vec![f],
+            None => Vec::new(),
+        }
     }
 }
 
@@ -154,6 +186,31 @@ impl Aqm for DropTail {
 
     fn name(&self) -> &'static str {
         "fifo"
+    }
+
+    fn check_invariants(&self, now: SimTime, deep: bool) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        if let Some(f) = queue_accounting_failure(self.stats, self.queue.len() as u64) {
+            fails.push(f);
+        }
+        if deep {
+            let sum: u64 = self.queue.iter().map(|p| p.size as u64).sum();
+            if sum != self.backlog {
+                let backlog = self.backlog;
+                fails.push(CheckFailure::new(
+                    "queue_byte_accounting",
+                    format!("backlog counter {backlog} != sum of resident sizes {sum}"),
+                ));
+            }
+            if let Some(p) = self.queue.iter().find(|p| p.enqueued_at > now) {
+                let at = p.enqueued_at;
+                fails.push(CheckFailure::new(
+                    "queue_sojourn",
+                    format!("resident packet enqueued in the future ({at} > {now})"),
+                ));
+            }
+        }
+        fails
     }
 }
 

@@ -1,5 +1,6 @@
 //! The simulator: event loop, endpoint dispatch, run summaries.
 
+use crate::check::{CheckFailure, CheckMode, CheckReport, Checker};
 use crate::event::{Event, EventQueue, TimerKind};
 use crate::fault::{FaultAction, FaultPlan};
 use crate::link::LinkId;
@@ -67,6 +68,16 @@ pub trait FlowEndpoint: Send {
     /// returns `None` and the sample is skipped.
     fn telemetry_probe(&self, _now: SimTime) -> Option<FlowProbe> {
         None
+    }
+
+    /// Invariant probe for the strict-mode checker: structural properties
+    /// that must hold after any event touching this flow (scoreboard
+    /// conservation, `snd_una ≤ snd_nxt`, cwnd floor, CCA sanity).
+    /// Read-only — must not mutate state or draw randomness. The default
+    /// — endpoints with nothing to check — reports nothing; the common
+    /// clean case returns the empty vector, which never allocates.
+    fn check_invariants(&self) -> Vec<CheckFailure> {
+        Vec::new()
     }
 
     /// Final counters for the run summary.
@@ -306,6 +317,13 @@ pub struct Simulator {
     fault_actions: Vec<FaultAction>,
     /// Flight-recorder slot; empty by default (recording off).
     recorder: RecorderHandle,
+    /// Invariant-checker slot; empty by default (checking off). Same
+    /// zero-cost-when-off discipline as the recorder: the hot loop pays
+    /// one predictable untaken branch per event.
+    checker: Option<Box<Checker>>,
+    /// Subject of the event in flight (set by `checker_pre_event`, read by
+    /// `run_event_checks`); meaningless while checking is off.
+    check_subject: (Option<FlowId>, Option<LinkId>),
     scratch_pkts: Vec<Packet>,
     scratch_timers: Vec<(TimerKind, SimTime, u32)>,
 }
@@ -335,6 +353,8 @@ impl Simulator {
             mark_bytes_bottleneck: 0,
             fault_actions: Vec::new(),
             recorder: RecorderHandle::null(),
+            checker: None,
+            check_subject: (None, None),
             scratch_pkts: Vec::with_capacity(64),
             scratch_timers: Vec::with_capacity(8),
         }
@@ -427,6 +447,30 @@ impl Simulator {
         self.recorder.is_active()
     }
 
+    /// Enable runtime invariant checking for this run.
+    ///
+    /// [`CheckMode::Audit`] counts violations into a [`CheckReport`];
+    /// [`CheckMode::Strict`] panics on the first one; [`CheckMode::Off`]
+    /// removes any installed checker. Checking observes and never
+    /// perturbs: a checked run produces byte-identical metrics to an
+    /// unchecked one.
+    pub fn set_check_mode(&mut self, mode: CheckMode) {
+        self.checker = match mode {
+            CheckMode::Off => None,
+            m => Some(Box::new(Checker::new(m))),
+        };
+    }
+
+    /// The active check mode.
+    pub fn check_mode(&self) -> CheckMode {
+        self.checker.as_ref().map_or(CheckMode::Off, |c| c.mode())
+    }
+
+    /// Remove the checker and return its report (post-run recovery).
+    pub fn take_check_report(&mut self) -> Option<CheckReport> {
+        self.checker.take().map(|c| c.into_report())
+    }
+
     /// Events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
@@ -493,6 +537,11 @@ impl Simulator {
             if !matches!(ev, Event::Sample) {
                 self.processed += 1;
             }
+            // Checker preamble (out-of-line; the `is_some` test is the only
+            // cost when checking is off).
+            if self.checker.is_some() {
+                self.checker_pre_event(at, &ev);
+            }
             match ev {
                 Event::LinkTxDone { link } => {
                     let now = self.now;
@@ -534,8 +583,86 @@ impl Simulator {
                     });
                 }
             }
+            if self.checker.is_some() {
+                self.run_event_checks();
+            }
         }
         self.now = until.max(self.now);
+    }
+
+    /// Checker preamble: time monotonicity is verified on every pop —
+    /// including firings the Timer arm drops as cancelled, which still
+    /// must come off the wheel in (time, seq) order. The event's subject
+    /// (flow/link) is captured before the event consumes it, for
+    /// attribution in the post-event checks.
+    #[cold]
+    #[inline(never)]
+    fn checker_pre_event(&mut self, at: SimTime, ev: &Event) {
+        let subject = match ev {
+            Event::Deliver { pkt, .. } => (Some(self.events.packet(*pkt).flow), None),
+            Event::Timer { flow, .. } => (Some(*flow), None),
+            Event::LinkTxDone { link } | Event::Fault { link, .. } => (None, Some(*link)),
+            Event::Sample => (None, None),
+        };
+        self.check_subject = subject;
+        if let Some(ck) = self.checker.as_deref_mut() {
+            ck.on_event(at, self.processed);
+        }
+    }
+
+    /// Post-event invariant checks against the event's subject (stashed by
+    /// [`Simulator::checker_pre_event`]): the touched flow's sender-side
+    /// structure (scoreboard, CCA) and/or the touched link's queue
+    /// accounting. Take/put-back lets the checker and the rest of `self`
+    /// be borrowed together.
+    #[cold]
+    #[inline(never)]
+    fn run_event_checks(&mut self) {
+        let (flow, link) = self.check_subject;
+        let Some(mut ck) = self.checker.take() else { return };
+        let (now, seq) = (self.now, self.processed);
+        if let Some(f) = flow {
+            let fails = self.flows[f.0 as usize].sender.check_invariants();
+            if !fails.is_empty() {
+                ck.record(fails, Some(f.0 as u64), None, seq, now);
+            }
+        }
+        if let Some(l) = link {
+            let fails = self.topo.link(l).aqm.check_invariants(now, false);
+            if !fails.is_empty() {
+                ck.record(fails, None, Some(l.0 as u64), seq, now);
+            }
+        }
+        self.checker = Some(ck);
+    }
+
+    /// Finalize-time checks: global packet conservation summed over every
+    /// link, plus the deep (O(n)) per-queue scans and a last pass over
+    /// every flow's structural invariants.
+    fn run_final_checks(&mut self) {
+        let Some(mut ck) = self.checker.take() else { return };
+        let (now, seq) = (self.now, self.processed);
+        let (mut dropped, mut duplicated, mut resident) = (0u64, 0u64, 0u64);
+        for link in self.topo.links() {
+            let ls = link.stats();
+            let qs = link.aqm.stats();
+            dropped += qs.dropped_enqueue + qs.dropped_dequeue + ls.down_drops + ls.fault_losses;
+            duplicated += ls.duplicated;
+            resident += link.aqm.backlog_pkts() as u64;
+            let fails = link.aqm.check_invariants(now, true);
+            if !fails.is_empty() {
+                ck.record(fails, None, Some(link.id.0 as u64), seq, now);
+            }
+        }
+        let in_flight = self.events.packets_live() as u64;
+        ck.check_packet_conservation(duplicated, dropped, resident, in_flight, seq, now);
+        for (i, slot) in self.flows.iter().enumerate() {
+            let fails = slot.sender.check_invariants();
+            if !fails.is_empty() {
+                ck.record(fails, Some(i as u64), None, seq, now);
+            }
+        }
+        self.checker = Some(ck);
     }
 
     /// Run to completion and produce the summary.
@@ -555,6 +682,7 @@ impl Simulator {
             self.do_mark(SimTime::ZERO + self.cfg.warmup);
         }
         self.now = SimTime::ZERO + self.cfg.duration;
+        self.run_final_checks();
         self.summary(self.processed)
     }
 
@@ -610,6 +738,9 @@ impl Simulator {
             }
             NodeKind::Host => {
                 debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
+                if let Some(ck) = self.checker.as_deref_mut() {
+                    ck.note_delivered();
+                }
                 // Data packets go to the receiver endpoint, ACKs to the sender.
                 let dir = if pkt.is_data() { Dir::Receiver } else { Dir::Sender };
                 self.dispatch(pkt.flow, dir, |ep, ctx| ep.on_packet(&pkt, ctx));
@@ -654,6 +785,9 @@ impl Simulator {
                 debug_assert!(false, "no route from host {local:?} to {:?}", pkt.dst);
                 continue;
             };
+            if let Some(ck) = self.checker.as_deref_mut() {
+                ck.note_injected();
+            }
             let now = self.now;
             self.topo.link_mut(link).offer(pkt, now, &mut self.events, &mut self.rng);
         }
@@ -1020,6 +1154,50 @@ mod tests {
         sim.run_until(SimTime::ZERO + SimDuration::from_secs(2));
         assert!(sim.budget_exhausted(), "10-event budget must trip on a 100-packet blast");
         assert_eq!(sim.events_processed(), 10);
+    }
+
+    #[test]
+    fn strict_checker_passes_a_clean_run_without_perturbing_it() {
+        use crate::check::CheckMode;
+        let run = |mode: CheckMode| {
+            let mut sim = build_sim();
+            add_blast(&mut sim, 0, 100);
+            add_blast(&mut sim, 1, 100);
+            sim.set_check_mode(mode);
+            let s = sim.run();
+            let report = sim.take_check_report();
+            ((s.events_processed, s.bottleneck.bytes_tx_total), report)
+        };
+        let (plain, none) = run(CheckMode::Off);
+        assert!(none.is_none());
+        let (strict, report) = run(CheckMode::Strict);
+        // Checking observes, never perturbs: identical summary.
+        assert_eq!(plain, strict);
+        let report = report.unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.events_checked > 0);
+    }
+
+    #[test]
+    fn checker_conservation_covers_faulted_runs() {
+        use crate::check::CheckMode;
+        use crate::fault::{FaultAction, FaultPlan, LossModel};
+        // Flap + random loss exercise every terminal packet state:
+        // delivered, down-dropped, fault-lost, and queue-resident.
+        let mut sim = build_sim();
+        add_blast(&mut sim, 0, 200);
+        add_blast(&mut sim, 1, 200);
+        let bn = sim.topology().bottleneck_link().unwrap();
+        let plan = FaultPlan::flap(SimDuration::from_millis(20), SimDuration::from_millis(30))
+            .with(
+                SimDuration::from_millis(60),
+                FaultAction::SetLossModel(LossModel::GilbertElliott { p_gb: 0.05, p_bg: 0.3 }),
+            );
+        sim.install_fault_plan(bn, &plan);
+        sim.set_check_mode(CheckMode::Strict);
+        sim.run();
+        let report = sim.take_check_report().unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
     }
 
     #[test]

@@ -135,6 +135,15 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating multiplication by an integer factor. The `Mul<u64>`
+    /// operator wraps in release builds; callers that scale unbounded
+    /// inputs (e.g. exponential RTO backoff of a pathological SRTT) must
+    /// use this instead.
+    #[inline]
+    pub const fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
     /// The larger of two durations.
     #[inline]
     pub fn max(self, other: SimDuration) -> SimDuration {

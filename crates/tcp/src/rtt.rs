@@ -80,7 +80,10 @@ impl RttEstimator {
             Some(srtt) => srtt + (self.rttvar * 4).max(MIN_RTO),
             None => SimDuration::from_secs(1), // RFC 6298 initial RTO
         };
-        let backed = base * (1u64 << self.backoff.min(16));
+        // Saturating: a pathological SRTT (e.g. tens of minutes under
+        // extreme bufferbloat) times 2^16 overflows u64 nanoseconds; the
+        // clamp below must see u64::MAX, not a wrapped small value.
+        let backed = base.saturating_mul(1u64 << self.backoff.min(16));
         backed.max(MIN_RTO).min(MAX_RTO)
     }
 
@@ -150,6 +153,19 @@ mod tests {
         // A new sample resets the backoff.
         e.on_sample(ms(100));
         assert!(e.rto() < ms(400));
+    }
+
+    #[test]
+    fn rto_saturates_for_pathological_srtt() {
+        let mut e = RttEstimator::new();
+        // An absurd but representable sample: ~5.1 hours. With the full
+        // 2^16 backoff the nanosecond product exceeds u64::MAX; the old
+        // wrapping multiply produced a tiny RTO instead of MAX_RTO.
+        e.on_sample(SimDuration::from_secs(300_000));
+        for _ in 0..20 {
+            e.backoff();
+        }
+        assert_eq!(e.rto(), MAX_RTO);
     }
 
     #[test]

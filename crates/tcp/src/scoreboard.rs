@@ -144,7 +144,12 @@ impl Scoreboard {
     /// Advance the cumulative ACK point to `new_una`, invoking `f` for every
     /// segment removed (newly fully acknowledged), in sequence order.
     pub fn advance_una(&mut self, new_una: u64, mut f: impl FnMut(u64, &PktMeta)) {
-        debug_assert!(new_una >= self.base);
+        // An ACK below snd_una is old or reordered — a legitimate no-op.
+        // Subtracting without this guard would wrap in release builds and
+        // drain the whole scoreboard.
+        if new_una <= self.base {
+            return;
+        }
         let n = (new_una - self.base).min(self.entries.len() as u64);
         for _ in 0..n {
             let meta = self.entries.pop_front().expect("length checked");
@@ -178,6 +183,9 @@ impl Scoreboard {
     /// lost segment; returns the count.
     pub fn detect_losses(&mut self, dupthresh: u64, mut f: impl FnMut(u64)) -> u64 {
         let Some(hs) = self.highest_sacked else { return 0 };
+        // dupthresh == 0 would underflow below (debug panic, huge cutoff in
+        // release); treat it as the most aggressive sensible threshold.
+        let dupthresh = dupthresh.max(1);
         let cutoff = hs.saturating_sub(dupthresh - 1); // seq < cutoff ⇒ lost
         let mut newly = 0;
         let base = self.base;
@@ -256,9 +264,31 @@ impl Scoreboard {
     }
 
     /// Conservation check: segments in each state sum to the total
-    /// (diagnostic; used by tests and property suites).
+    /// (diagnostic; enforced per event by the strict-mode checker).
     pub fn check_conservation(&self) -> bool {
         self.n_outstanding + self.n_sacked + self.n_lost + self.n_lost_retx == self.entries.len()
+    }
+
+    /// The incrementally maintained per-state counters:
+    /// `(outstanding, sacked, lost, lost_retx)`.
+    pub fn state_counts(&self) -> (usize, usize, usize, usize) {
+        (self.n_outstanding, self.n_sacked, self.n_lost, self.n_lost_retx)
+    }
+
+    /// Recount the states by scanning every entry — the O(n) ground truth
+    /// the incremental counters must agree with. Diagnostic; used by the
+    /// property suite, not the per-event checker.
+    pub fn recount_states(&self) -> (usize, usize, usize, usize) {
+        let (mut o, mut s, mut l, mut r) = (0, 0, 0, 0);
+        for e in &self.entries {
+            match e.state {
+                PktState::Outstanding => o += 1,
+                PktState::Sacked => s += 1,
+                PktState::Lost => l += 1,
+                PktState::LostRetx => r += 1,
+            }
+        }
+        (o, s, l, r)
     }
 }
 
@@ -378,6 +408,98 @@ mod tests {
         assert_eq!(sb.inflight_segments(), 0);
         assert_eq!(sb.lost_pending(), 0);
         assert!(sb.check_conservation());
+    }
+
+    #[test]
+    fn stale_ack_below_una_is_a_noop() {
+        let mut sb = board_with(8);
+        sb.advance_una(5, |_, _| {});
+        assert_eq!(sb.snd_una(), 5);
+        // A reordered ACK for an already-acknowledged point must not drain
+        // the scoreboard (regression: `new_una - base` wrapped in release).
+        let mut removed = 0;
+        sb.advance_una(3, |_, _| removed += 1);
+        assert_eq!(removed, 0);
+        assert_eq!(sb.snd_una(), 5);
+        assert_eq!(sb.len(), 3);
+        assert!(sb.check_conservation());
+    }
+
+    #[test]
+    fn detect_losses_with_zero_dupthresh() {
+        let mut sb = board_with(6);
+        sb.apply_sack(3, 4, |_, _| {}); // highest_sacked = 3
+        let mut lost = vec![];
+        // dupthresh 0 is clamped to 1 (regression: `dupthresh - 1`
+        // underflowed): cutoff = 3, so seqs 0..3 are lost.
+        let n = sb.detect_losses(0, |s| lost.push(s));
+        assert_eq!(n, 3);
+        assert_eq!(lost, vec![0, 1, 2]);
+        assert!(sb.check_conservation());
+    }
+
+    #[test]
+    fn random_op_sequences_conserve_the_scoreboard() {
+        use elephants_netsim::prop::{run_cases, DEFAULT_CASES};
+        use elephants_netsim::{prop_check, prop_check_eq, RngExt};
+        // Drive random push/ack/sack/loss/retransmit sequences and assert
+        // the checker's scoreboard invariants after every single operation:
+        // conservation, counter-vs-scan agreement, and window ordering.
+        run_cases("scoreboard_random_ops", DEFAULT_CASES, |rng| {
+            let mut sb = Scoreboard::new();
+            let mut tx = 0u64;
+            let ops = rng.random_range(20usize..120);
+            for _ in 0..ops {
+                match rng.random_range(0u32..7) {
+                    0 | 1 => {
+                        for _ in 0..rng.random_range(1u64..8) {
+                            sb.push_sent(sb.snd_nxt(), meta(tx));
+                            tx += 1;
+                        }
+                    }
+                    2 => {
+                        // Anywhere from a stale ACK to one past snd_nxt.
+                        let target = rng.random_range(0..sb.snd_nxt() + 3);
+                        sb.advance_una(target, |_, _| {});
+                    }
+                    3 => {
+                        let lo = rng.random_range(0..sb.snd_nxt() + 2);
+                        let hi = lo + rng.random_range(0u64..5);
+                        sb.apply_sack(lo, hi, |_, _| {});
+                    }
+                    4 => {
+                        // Includes the once-underflowing dupthresh == 0.
+                        sb.detect_losses(rng.random_range(0u64..4), |_| {});
+                    }
+                    5 => {
+                        if let Some(seq) = sb.next_lost() {
+                            sb.mark_retransmitted(seq, meta(tx));
+                            tx += 1;
+                        }
+                    }
+                    _ => {
+                        if rng.random_range(0u32..2) == 0 {
+                            sb.mark_all_lost();
+                        } else {
+                            sb.revert_lost_to_outstanding();
+                        }
+                    }
+                }
+                prop_check!(
+                    sb.check_conservation(),
+                    "state counters {:?} do not sum to len {}",
+                    sb.state_counts(),
+                    sb.len()
+                );
+                prop_check_eq!(sb.state_counts(), sb.recount_states());
+                prop_check!(sb.snd_una() <= sb.snd_nxt());
+                prop_check!(sb.inflight_segments() <= sb.len() as u64);
+                if let Some(hs) = sb.highest_sacked() {
+                    prop_check!(hs < sb.snd_nxt(), "highest_sacked {hs} >= snd_nxt");
+                }
+            }
+            Ok(())
+        });
     }
 
     #[test]

@@ -8,8 +8,8 @@ use crate::rtt::RttEstimator;
 use crate::scoreboard::{PktMeta, PktState, Scoreboard};
 use elephants_cca::{AckEvent, CongestionControl, LossEvent};
 use elephants_netsim::{
-    Ctx, EndpointReport, FlowEndpoint, FlowProbe, NodeId, Packet, PacketKind, SimDuration, SimTime,
-    TimerKind,
+    CheckFailure, Ctx, EndpointReport, FlowEndpoint, FlowProbe, NodeId, Packet, PacketKind,
+    SimDuration, SimTime, TimerKind,
 };
 use std::any::Any;
 
@@ -475,6 +475,35 @@ impl FlowEndpoint for TcpSender {
             inflight: self.inflight_bytes(),
             phase: snap.phase,
         })
+    }
+
+    fn check_invariants(&self) -> Vec<CheckFailure> {
+        let mut fails = Vec::new();
+        if !self.board.check_conservation() {
+            let (o, s, l, r) = self.board.state_counts();
+            let n = self.board.len();
+            fails.push(CheckFailure::new(
+                "scoreboard_conservation",
+                format!("outstanding {o} + sacked {s} + lost {l} + lost_retx {r} != tracked {n}"),
+            ));
+        }
+        let (una, nxt) = (self.board.snd_una(), self.board.snd_nxt());
+        if una > nxt {
+            fails.push(CheckFailure::new(
+                "scoreboard_window",
+                format!("snd_una {una} above snd_nxt {nxt}"),
+            ));
+        }
+        let inflight = self.board.inflight_segments();
+        if inflight > self.board.len() as u64 {
+            let n = self.board.len();
+            fails.push(CheckFailure::new(
+                "scoreboard_inflight",
+                format!("inflight {inflight} segments exceeds tracked {n}"),
+            ));
+        }
+        fails.extend(self.cca.check_invariants(self.cfg.mss));
+        fails
     }
 
     fn report(&self) -> EndpointReport {

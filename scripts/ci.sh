@@ -19,6 +19,12 @@
 #                                flight recorder on; probe re-parses its own
 #                                record through the versioned parser, so a
 #                                schema regression fails here
+#   scripts/ci.sh --check-smoke  also run one short scenario per CCA x AQM
+#                                pair (5 x 5) through the probe binary with
+#                                `--check strict`, built in the `checked`
+#                                profile (release speed + debug assertions):
+#                                any runtime-invariant violation panics the
+#                                run and fails the lane
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,11 +32,13 @@ cd "$(dirname "$0")/.."
 bench_smoke=0
 fault_smoke=0
 record_smoke=0
+check_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fault-smoke) fault_smoke=1 ;;
     --record-smoke) record_smoke=1 ;;
+    --check-smoke) check_smoke=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -76,4 +84,26 @@ if [[ "$record_smoke" -eq 1 ]]; then
     echo "record smoke: probe did not verify a flight record" >&2
     exit 1
   fi
+fi
+
+if [[ "$check_smoke" -eq 1 ]]; then
+  # The full CCA x AQM grid, one short strict-mode run per cell, in the
+  # `checked` profile so debug assertions guard the hot path at release
+  # speed. A violated invariant panics inside the run; the grep confirms
+  # the checker actually observed events rather than silently no-opping.
+  for cca in reno cubic htcp bbr1 bbr2; do
+    for aqm in fifo red codel fq_codel pie; do
+      out="$(cargo run --profile checked --offline -p elephants-experiments --bin probe -- \
+        --cca1 "$cca" --cca2 cubic --aqm "$aqm" --queue 2 --bw 100M --secs 5 \
+        --check strict 2>&1 | tee /dev/stderr)"
+      if ! grep -q 'check        : mode=Strict' <<<"$out"; then
+        echo "check smoke ($cca/$aqm): strict checker did not report" >&2
+        exit 1
+      fi
+      if ! grep -q 'violations=0' <<<"$out"; then
+        echo "check smoke ($cca/$aqm): violations reported" >&2
+        exit 1
+      fi
+    done
+  done
 fi
