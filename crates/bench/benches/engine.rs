@@ -77,13 +77,19 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// The regression scenario behind `BENCH_netsim.json`: the paper's 25 Gbps
-/// FIFO cell at quick scale. See `elephants_bench::report`.
+/// The tracked scenarios behind `BENCH_netsim.json`: the paper's 25 Gbps
+/// FIFO cell at quick scale (the regression gate's subject) and the same
+/// cell at the standard preset — Table 2's 500-flow workload at
+/// paper-faithful scale. See `elephants_bench::report`.
 fn bench_regression(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(5);
     g.bench_function("25gbps_fifo_quick", |b| {
         let cfg = elephants_bench::regression_scenario();
+        b.iter(|| Runner::new(&cfg).seed(1).run());
+    });
+    g.bench_function("25gbps_fifo_table2", |b| {
+        let cfg = elephants_bench::table2_scenario();
         b.iter(|| Runner::new(&cfg).seed(1).run());
     });
     g.finish();
@@ -92,10 +98,15 @@ fn bench_regression(c: &mut Criterion) {
 criterion_group!(benches, bench_event_queue, bench_aqm_hot_path, bench_sim_throughput, bench_regression);
 
 // Hand-rolled main instead of `criterion_main!`: after the benches run, the
-// regression measurement is folded into the BENCH_netsim.json trajectory.
+// tracked measurements are folded into the BENCH_netsim.json trajectory and
+// (when BENCH_GATE=1) the regression gate decides the exit code.
 fn main() {
     let mut c = elephants_bench::harness::Criterion::configured_from_args();
     benches(&mut c);
     c.final_summary();
     elephants_bench::report::emit_engine_report(&c);
+    if let Err(e) = elephants_bench::report::gate_from_env(&c) {
+        eprintln!("bench gate: FAIL: {e}");
+        std::process::exit(1);
+    }
 }

@@ -44,3 +44,19 @@ pub fn regression_scenario() -> ScenarioConfig {
         &RunOptions::quick(),
     )
 }
+
+/// The paper-faithful many-flow scenario: Table 2's 25 Gbps workload (500
+/// flows: 25 iperf processes/node × 10 streams) at the standard preset,
+/// twice the simulated duration of [`regression_scenario`]. This is the
+/// scale the full sweep runs at; its `BENCH_netsim.json` entry proves the
+/// event core sustains it rather than just the quick smoke cell.
+pub fn table2_scenario() -> ScenarioConfig {
+    ScenarioConfig::new(
+        CcaKind::Cubic,
+        CcaKind::Cubic,
+        AqmKind::Fifo,
+        2.0,
+        25_000_000_000,
+        &RunOptions::standard(),
+    )
+}

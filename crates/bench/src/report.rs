@@ -1,57 +1,136 @@
 //! The benchmark-regression report: `BENCH_netsim.json`.
 //!
 //! The engine bench measures the paper's 25 Gbps FIFO cell at quick scale
-//! and records events/second, ns/event, and the peak bottleneck-queue depth
-//! into a JSON trajectory file at the workspace root. Each entry is keyed by
-//! a label (`BENCH_LABEL` env var, default `"current"`); re-running with the
-//! same label replaces that entry, so the file accumulates one entry per
-//! milestone and future PRs have a perf baseline to defend.
+//! (and, when not filtered out, the Table-2 500-flow cell at standard
+//! scale) and records events/second, ns/event, the sample spread, and the
+//! peak bottleneck-queue depth into a JSON trajectory file at the workspace
+//! root. Each entry is keyed by a label (`BENCH_LABEL` env var, default
+//! `"current"`); re-running with the same label replaces that entry, so the
+//! file accumulates one entry per milestone and future PRs have a perf
+//! baseline to defend.
+//!
+//! # The regression gate
+//!
+//! PR 6 landed a 32% events/sec regression that sat in the committed file
+//! unnoticed because nothing *compared* entries. [`BenchReport::gate`]
+//! closes that hole: it compares an entry against the previous committed
+//! entry for the same benchmark and fails when events/sec dropped more
+//! than a threshold (default [`GATE_DEFAULT_THRESHOLD`]). `scripts/bench.sh
+//! --gate` and `scripts/ci.sh --bench-gate` run it after a fresh
+//! measurement (set `BENCH_GATE=1`; tune with `BENCH_GATE_THRESHOLD`).
 
-use crate::harness::Criterion;
-use crate::regression_scenario;
-use elephants_experiments::Runner;
-use elephants_json::{impl_json_struct, FromJson, ToJson};
+use crate::harness::{BenchResult, Criterion};
+use crate::{regression_scenario, table2_scenario};
+use elephants_experiments::{Runner, ScenarioConfig};
+use elephants_json::{FromJson, JsonError, ToJson, Value};
 use std::path::PathBuf;
 
 /// Benchmark id (group/name) of the regression scenario in the engine bench.
 pub const REGRESSION_BENCH_ID: &str = "engine/25gbps_fifo_quick";
 
+/// Benchmark id of the paper-faithful Table-2 500-flow scenario.
+pub const TABLE2_BENCH_ID: &str = "engine/25gbps_fifo_table2";
+
+/// Default regression-gate threshold: fail when events/sec drops more than
+/// this fraction below the previous committed entry.
+pub const GATE_DEFAULT_THRESHOLD: f64 = 0.10;
+
 /// One measured point on the perf trajectory.
+///
+/// Entries recorded before PR 7 carry only the median; on parse their
+/// `min_run_ms`/`max_run_ms` are backfilled from the median and `runs` is 0
+/// ("spread not recorded"), so "within noise" claims are only checkable for
+/// entries measured after the fields existed.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchEntry {
-    /// Milestone label (e.g. `"pr2-baseline"`, `"current"`).
+    /// Milestone label (e.g. `"pr4-recorder"`, `"current"`).
     pub label: String,
-    /// Simulated events processed per wall-clock second.
+    /// Benchmark id this entry measures (gate only compares like with like).
+    pub bench: String,
+    /// Simulated events processed per wall-clock second (from the median).
     pub events_per_sec: f64,
-    /// Wall-clock nanoseconds per simulated event.
+    /// Wall-clock nanoseconds per simulated event (from the median).
     pub ns_per_event: f64,
     /// Median wall-clock time for the whole scenario run, milliseconds.
     pub median_run_ms: f64,
+    /// Fastest sample, milliseconds.
+    pub min_run_ms: f64,
+    /// Slowest sample, milliseconds.
+    pub max_run_ms: f64,
+    /// Number of timed samples behind the statistics (0 = pre-PR7 entry).
+    pub runs: u64,
     /// Events processed by one run of the scenario.
     pub events_processed: u64,
     /// Largest bottleneck-queue depth observed, in packets.
     pub peak_queue_pkts: u64,
 }
 
-impl_json_struct!(BenchEntry {
-    label,
-    events_per_sec,
-    ns_per_event,
-    median_run_ms,
-    events_processed,
-    peak_queue_pkts,
-});
+impl ToJson for BenchEntry {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("label".to_string(), self.label.to_json()),
+            ("bench".to_string(), self.bench.to_json()),
+            ("events_per_sec".to_string(), self.events_per_sec.to_json()),
+            ("ns_per_event".to_string(), self.ns_per_event.to_json()),
+            ("median_run_ms".to_string(), self.median_run_ms.to_json()),
+            ("min_run_ms".to_string(), self.min_run_ms.to_json()),
+            ("max_run_ms".to_string(), self.max_run_ms.to_json()),
+            ("runs".to_string(), self.runs.to_json()),
+            ("events_processed".to_string(), self.events_processed.to_json()),
+            ("peak_queue_pkts".to_string(), self.peak_queue_pkts.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BenchEntry {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let median_run_ms = f64::from_json(v.get_field("median_run_ms")?)?;
+        // Fields added in PR 7 are optional so committed pre-PR7 entries
+        // keep parsing; see the struct docs for the backfill semantics.
+        let opt_f64 = |name: &str, fallback: f64| match v.get_field(name) {
+            Ok(field) => f64::from_json(field),
+            Err(_) => Ok(fallback),
+        };
+        Ok(BenchEntry {
+            label: String::from_json(v.get_field("label")?)?,
+            bench: match v.get_field("bench") {
+                Ok(field) => String::from_json(field)?,
+                Err(_) => REGRESSION_BENCH_ID.to_string(),
+            },
+            events_per_sec: f64::from_json(v.get_field("events_per_sec")?)?,
+            ns_per_event: f64::from_json(v.get_field("ns_per_event")?)?,
+            median_run_ms,
+            min_run_ms: opt_f64("min_run_ms", median_run_ms)?,
+            max_run_ms: opt_f64("max_run_ms", median_run_ms)?,
+            runs: match v.get_field("runs") {
+                Ok(field) => u64::from_json(field)?,
+                Err(_) => 0,
+            },
+            events_processed: u64::from_json(v.get_field("events_processed")?)?,
+            peak_queue_pkts: u64::from_json(v.get_field("peak_queue_pkts")?)?,
+        })
+    }
+}
+
+/// A passing gate comparison: which baseline was used and the ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePass {
+    /// Label of the baseline entry compared against.
+    pub baseline: String,
+    /// `new.events_per_sec / baseline.events_per_sec`.
+    pub ratio: f64,
+}
 
 /// The whole trajectory file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Human-readable description of the measured scenario.
     pub scenario: String,
-    /// One entry per milestone label.
+    /// One entry per milestone label, in commit order.
     pub entries: Vec<BenchEntry>,
 }
 
-impl_json_struct!(BenchReport { scenario, entries });
+elephants_json::impl_json_struct!(BenchReport { scenario, entries });
 
 impl BenchReport {
     /// Insert `entry`, replacing any previous entry with the same label.
@@ -66,6 +145,40 @@ impl BenchReport {
         let eb = self.entries.iter().find(|e| e.label == b)?;
         Some(ea.events_per_sec / eb.events_per_sec)
     }
+
+    /// The regression gate: compare the entry named `label` against the
+    /// previous entry for the same benchmark (entries are kept in commit
+    /// order, so "previous" is the latest committed baseline).
+    ///
+    /// Returns `Err` with a human-readable verdict when events/sec dropped
+    /// more than `threshold` (a fraction, e.g. 0.10); `Ok(None)` when there
+    /// is no earlier same-benchmark entry to compare against; `Ok(Some)`
+    /// with the baseline and ratio otherwise.
+    pub fn gate(&self, label: &str, threshold: f64) -> Result<Option<GatePass>, String> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.label == label)
+            .ok_or_else(|| format!("gate: no entry labelled '{label}'"))?;
+        let new = &self.entries[idx];
+        let Some(base) = self.entries[..idx].iter().rev().find(|e| e.bench == new.bench) else {
+            return Ok(None);
+        };
+        let ratio = new.events_per_sec / base.events_per_sec;
+        if ratio < 1.0 - threshold {
+            return Err(format!(
+                "'{label}' regressed {}: {:.2}M events/sec vs '{}' at {:.2}M ({:.1}% drop, \
+                 threshold {:.0}%)",
+                new.bench,
+                new.events_per_sec / 1e6,
+                base.label,
+                base.events_per_sec / 1e6,
+                (1.0 - ratio) * 100.0,
+                threshold * 100.0,
+            ));
+        }
+        Ok(Some(GatePass { baseline: base.label.clone(), ratio }))
+    }
 }
 
 /// Where the trajectory file lives: `$BENCH_OUT`, or `BENCH_netsim.json` at
@@ -77,19 +190,29 @@ pub fn default_report_path() -> PathBuf {
     }
 }
 
-/// Build the trajectory entry for the regression scenario from the measured
-/// median and one counting run (events processed + peak queue depth).
-pub fn measure_entry(label: String, median_ns: f64) -> BenchEntry {
-    let probe = Runner::new(&regression_scenario())
+/// Build the trajectory entry for one tracked benchmark from its measured
+/// samples and one counting run (events processed + peak queue depth).
+pub fn measure_entry(
+    label: String,
+    bench: &str,
+    cfg: &ScenarioConfig,
+    r: &BenchResult,
+) -> BenchEntry {
+    let probe = Runner::new(cfg)
         .seed(1)
         .run()
-        .expect("regression scenario must run")
+        .expect("tracked bench scenario must run")
         .into_first();
+    let median_ns = r.median_ns();
     BenchEntry {
         label,
+        bench: bench.to_string(),
         events_per_sec: probe.events as f64 / (median_ns / 1e9),
         ns_per_event: median_ns / probe.events as f64,
         median_run_ms: median_ns / 1e6,
+        min_run_ms: r.samples_ns.first().copied().unwrap_or(median_ns) / 1e6,
+        max_run_ms: r.samples_ns.last().copied().unwrap_or(median_ns) / 1e6,
+        runs: r.samples_ns.len() as u64,
         events_processed: probe.events,
         peak_queue_pkts: probe.peak_queue_pkts,
     }
@@ -97,17 +220,32 @@ pub fn measure_entry(label: String, median_ns: f64) -> BenchEntry {
 
 /// Emit/refresh `BENCH_netsim.json` from a finished engine-bench run.
 ///
-/// No-op when the regression benchmark did not run (filtered out) or in
-/// `--test` one-shot mode (timings would be meaningless).
+/// Both tracked benchmarks are folded in when they ran: the quick
+/// regression cell under `BENCH_LABEL` and the Table-2 500-flow cell under
+/// `BENCH_LABEL_TABLE2` (default `"<BENCH_LABEL>-table2"`). No-op when
+/// neither ran (filtered out) or in `--test` one-shot mode (timings would
+/// be meaningless).
 pub fn emit_engine_report(c: &Criterion) {
     if c.is_test_mode() {
         return;
     }
-    let Some(r) = c.results().iter().find(|r| r.id == REGRESSION_BENCH_ID) else {
-        return;
-    };
     let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
-    let entry = measure_entry(label, r.median_ns());
+    let table2_label =
+        std::env::var("BENCH_LABEL_TABLE2").unwrap_or_else(|_| format!("{label}-table2"));
+    let tracked: [(&str, String, ScenarioConfig); 2] = [
+        (REGRESSION_BENCH_ID, label, regression_scenario()),
+        (TABLE2_BENCH_ID, table2_label, table2_scenario()),
+    ];
+    let measured: Vec<BenchEntry> = tracked
+        .into_iter()
+        .filter_map(|(id, label, cfg)| {
+            let r = c.results().iter().find(|r| r.id == id)?;
+            Some(measure_entry(label, id, &cfg, r))
+        })
+        .collect();
+    if measured.is_empty() {
+        return;
+    }
 
     let path = default_report_path();
     let mut report = std::fs::read_to_string(&path)
@@ -115,11 +253,55 @@ pub fn emit_engine_report(c: &Criterion) {
         .and_then(|s| BenchReport::from_json_str(&s).ok())
         .unwrap_or_else(|| BenchReport { scenario: String::new(), entries: Vec::new() });
     report.scenario = format!("{} (quick preset)", regression_scenario().label());
-    report.upsert(entry);
+    for entry in measured {
+        report.upsert(entry);
+    }
     match std::fs::write(&path, report.to_json_pretty()) {
         Ok(()) => println!("bench report written to {}", path.display()),
         Err(e) => eprintln!("failed to write {}: {e}", path.display()),
     }
+}
+
+/// Run the regression gate over the freshly written report when
+/// `BENCH_GATE=1`: every entry recorded by this process (see
+/// [`emit_engine_report`]) is compared against its previous committed
+/// same-benchmark entry. Threshold comes from `BENCH_GATE_THRESHOLD`
+/// (fraction, default [`GATE_DEFAULT_THRESHOLD`]).
+pub fn gate_from_env(c: &Criterion) -> Result<(), String> {
+    if c.is_test_mode() || std::env::var("BENCH_GATE").map(|v| v != "1").unwrap_or(true) {
+        return Ok(());
+    }
+    let threshold = match std::env::var("BENCH_GATE_THRESHOLD") {
+        Ok(s) => {
+            s.parse::<f64>().map_err(|e| format!("bad BENCH_GATE_THRESHOLD '{s}': {e}"))?
+        }
+        Err(_) => GATE_DEFAULT_THRESHOLD,
+    };
+    let path = default_report_path();
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("gate: cannot read {}: {e}", path.display()))?;
+    let report = BenchReport::from_json_str(&text)
+        .map_err(|e| format!("gate: cannot parse {}: {e}", path.display()))?;
+
+    let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
+    let table2_label =
+        std::env::var("BENCH_LABEL_TABLE2").unwrap_or_else(|_| format!("{label}-table2"));
+    for (id, label) in [(REGRESSION_BENCH_ID, label), (TABLE2_BENCH_ID, table2_label)] {
+        if !c.results().iter().any(|r| r.id == id) {
+            continue;
+        }
+        match report.gate(&label, threshold)? {
+            Some(pass) => println!(
+                "bench gate: PASS '{label}' at {:.1}% of '{}'",
+                pass.ratio * 100.0,
+                pass.baseline
+            ),
+            None => {
+                println!("bench gate: '{label}' has no earlier {id} entry; nothing to compare")
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -129,9 +311,13 @@ mod tests {
     fn entry(label: &str, eps: f64) -> BenchEntry {
         BenchEntry {
             label: label.to_string(),
+            bench: REGRESSION_BENCH_ID.to_string(),
             events_per_sec: eps,
             ns_per_event: 1e9 / eps,
             median_run_ms: 1.0,
+            min_run_ms: 0.9,
+            max_run_ms: 1.2,
+            runs: 5,
             events_processed: 1000,
             peak_queue_pkts: 7,
         }
@@ -160,5 +346,64 @@ mod tests {
         let r = BenchReport { scenario: "s".into(), entries: vec![entry("a", 1.5)] };
         let back = BenchReport::from_json_str(&r.to_json_pretty()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_pr7_entries_parse_with_backfilled_spread() {
+        // The exact shape committed before PR 7: no bench/min/max/runs.
+        let old = r#"{
+            "label": "pr4-recorder",
+            "events_per_sec": 12190651.171217684,
+            "ns_per_event": 82.03007254944802,
+            "median_run_ms": 465.17228,
+            "events_processed": 5670753,
+            "peak_queue_pkts": 21229
+        }"#;
+        let e = BenchEntry::from_json_str(old).unwrap();
+        assert_eq!(e.bench, REGRESSION_BENCH_ID);
+        assert_eq!(e.min_run_ms, e.median_run_ms);
+        assert_eq!(e.max_run_ms, e.median_run_ms);
+        assert_eq!(e.runs, 0, "pre-PR7 entries have no recorded spread");
+    }
+
+    /// The gate must catch exactly the regression that PR 6 landed: the
+    /// committed 8.29M events/sec against pr4-recorder's 12.19M is a 32%
+    /// drop, far beyond the 10% default threshold.
+    #[test]
+    fn gate_fails_on_the_committed_pr6_regression() {
+        let mut r = BenchReport { scenario: "s".into(), entries: vec![] };
+        r.upsert(entry("pr2-wheel-arena", 9_249_222.8));
+        r.upsert(entry("pr4-recorder", 12_190_651.2));
+        r.upsert(entry("pr6-checker", 8_290_719.7));
+        let err = r.gate("pr6-checker", GATE_DEFAULT_THRESHOLD).unwrap_err();
+        assert!(err.contains("pr4-recorder"), "must compare against the previous entry: {err}");
+        assert!(err.contains("32.0% drop"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_compares_previous_entry() {
+        let mut r = BenchReport { scenario: "s".into(), entries: vec![] };
+        r.upsert(entry("old", 10_000_000.0));
+        r.upsert(entry("new", 9_500_000.0)); // 5% drop: inside the 10% gate
+        let pass = r.gate("new", GATE_DEFAULT_THRESHOLD).unwrap().unwrap();
+        assert_eq!(pass.baseline, "old");
+        assert!((pass.ratio - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_only_compares_same_benchmark_entries() {
+        let mut r = BenchReport { scenario: "s".into(), entries: vec![] };
+        r.upsert(entry("quick-old", 10_000_000.0));
+        let mut t2 = entry("table2-new", 5_000_000.0);
+        t2.bench = TABLE2_BENCH_ID.to_string();
+        r.upsert(t2);
+        // Half the quick entry's rate, but a different benchmark: no baseline.
+        assert_eq!(r.gate("table2-new", GATE_DEFAULT_THRESHOLD), Ok(None));
+    }
+
+    #[test]
+    fn gate_unknown_label_is_an_error() {
+        let r = BenchReport { scenario: "s".into(), entries: vec![entry("a", 1.0)] };
+        assert!(r.gate("missing", 0.1).is_err());
     }
 }

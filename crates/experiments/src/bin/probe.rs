@@ -1,6 +1,7 @@
 //! Probe a single scenario cell: print its raw metrics and, with
 //! `--record`, write a flight record plus dynamics figures and verify the
-//! artifact parses back.
+//! artifact parses back. `--coalesce` enables GRO-style receive coalescing;
+//! `--check strict` runs the runtime invariant checker.
 //!
 //! Usage:
 //! `cargo run --release -p elephants-experiments --bin probe -- \
@@ -25,6 +26,7 @@ fn main() {
     let mut record: Option<Recording> = None;
     let mut interval = DEFAULT_SAMPLE_INTERVAL;
     let mut check = CheckMode::Off;
+    let mut coalesce = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -50,6 +52,7 @@ fn main() {
             "--out" => out_dir = val(),
             "--record" => record = Some(Recording::parse(&val()).unwrap()),
             "--check" => check = val().parse().unwrap(),
+            "--coalesce" => coalesce = true,
             "--sample-interval" => {
                 let ms: f64 = val().parse().unwrap();
                 assert!(ms > 0.0, "--sample-interval must be positive");
@@ -62,6 +65,7 @@ fn main() {
     let opts = RunOptions { seed, flow_scale: scale, ..RunOptions::standard() };
     let cfg = ScenarioConfig::builder(cca1, cca2, aqm, queue, bw, &opts)
         .duration(SimDuration::from_secs(secs))
+        .coalesce(coalesce)
         .build()
         .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
 

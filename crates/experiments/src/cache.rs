@@ -27,7 +27,9 @@ use std::time::Duration;
 
 /// Version stamp embedded in every cache filename. Bump when the
 /// `RunResult` JSON schema (or the meaning of any field) changes.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+/// v4: `ScenarioConfig` gained the `coalesce` knob (PR 7) — entries
+/// serialized without it no longer parse.
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// Cache writes that failed (IO errors on create/write).
 static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);

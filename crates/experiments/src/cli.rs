@@ -19,6 +19,9 @@
 //! * `--check MODE` — runtime invariant checking: `off` (default), `audit`
 //!   (count violations, report them in the outcome) or `strict` (panic on
 //!   the first violation; a sweep degrades the cell to a failed run)
+//! * `--coalesce` — enable GRO-style receive coalescing on every receiver
+//!   (off by default; changes cache keys, so coalesced and plain results
+//!   never mix)
 
 use crate::cache::RunCache;
 use crate::runner::Recording;
@@ -46,6 +49,8 @@ pub struct Cli {
     pub record: Option<Recording>,
     /// Invariant-checking mode requested with `--check` (default: off).
     pub check: CheckMode,
+    /// GRO-style receive coalescing requested with `--coalesce`.
+    pub coalesce: bool,
 }
 
 fn parse_loss(s: &str) -> Result<LossModel, String> {
@@ -112,6 +117,7 @@ impl Cli {
         let mut record: Option<Recording> = None;
         let mut sample_interval: Option<SimDuration> = None;
         let mut check = CheckMode::Off;
+        let mut coalesce = false;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -149,6 +155,7 @@ impl Cli {
                 }
                 "--record" => record = Some(Recording::parse(&need("--record")?)?),
                 "--check" => check = need("--check")?.parse()?,
+                "--coalesce" => coalesce = true,
                 "--sample-interval" => {
                     let ms: f64 = need("--sample-interval")?
                         .parse()
@@ -172,15 +179,16 @@ impl Cli {
         if let Some(rec) = record.take() {
             record = Some(rec.out_dir(format!("{out_dir}/records")));
         }
-        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record, check })
+        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record, check, coalesce })
     }
 
-    /// Copy the CLI's fault knobs (`--loss`, `--flap`) into a scenario and
-    /// validate the combination. Call this on every config a fault-aware
-    /// binary builds from the parsed CLI.
+    /// Copy the CLI's per-scenario knobs (`--loss`, `--flap`, `--coalesce`)
+    /// into a scenario and validate the combination. Call this on every
+    /// config a fault-aware binary builds from the parsed CLI.
     pub fn apply_faults(&self, cfg: &mut ScenarioConfig) -> Result<(), String> {
         cfg.loss = self.loss;
         cfg.faults = self.faults.clone();
+        cfg.coalesce = self.coalesce;
         cfg.validate()
     }
 
@@ -210,7 +218,8 @@ usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
                        [--bw 100M,1G,25G] [--no-cache] [--out DIR]
                        [--loss none|bernoulli:P|ge:P_GB,P_BG] [--flap START,DUR]
                        [--limit N] [--record flows[,queue,events]]
-                       [--sample-interval MS] [--check off|audit|strict]";
+                       [--sample-interval MS] [--check off|audit|strict]
+                       [--coalesce]";
 
 #[cfg(test)]
 mod tests {
@@ -312,7 +321,7 @@ mod tests {
     fn apply_faults_transfers_knobs_into_config() {
         use elephants_aqm::AqmKind;
         use elephants_cca::CcaKind;
-        let cli = parse(&["--loss", "ge:0.002,0.2", "--flap", "1,0.25"]).unwrap();
+        let cli = parse(&["--loss", "ge:0.002,0.2", "--flap", "1,0.25", "--coalesce"]).unwrap();
         let mut cfg = ScenarioConfig::new(
             CcaKind::Cubic,
             CcaKind::Cubic,
@@ -324,6 +333,13 @@ mod tests {
         cli.apply_faults(&mut cfg).unwrap();
         assert_eq!(cfg.loss, cli.loss);
         assert_eq!(cfg.faults, cli.faults);
+        assert!(cfg.coalesce);
         assert!(cfg.is_faulted());
+    }
+
+    #[test]
+    fn coalesce_flag_defaults_off() {
+        assert!(!parse(&[]).unwrap().coalesce);
+        assert!(parse(&["--coalesce"]).unwrap().coalesce);
     }
 }

@@ -482,6 +482,8 @@ fn run_one(
     }
 
     let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
+    let rx_cfg =
+        if cfg.coalesce { ReceiverConfig::coalesced() } else { ReceiverConfig::default() };
     for (sender_idx, starts) in plan.starts.iter().enumerate() {
         let kind = if sender_idx == 0 { cfg.cca1 } else { cfg.cca2 };
         let s_node = spec.sender(sender_idx);
@@ -496,7 +498,7 @@ fn run_one(
                 r_node,
                 cca,
             );
-            let rx = TcpReceiver::new(ReceiverConfig::default(), s_node);
+            let rx = TcpReceiver::new(rx_cfg, s_node);
             sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start);
         }
     }

@@ -77,6 +77,10 @@ pub struct ScenarioConfig {
     /// if it would process more events than this. Default: effectively
     /// unlimited.
     pub max_events: u64,
+    /// GRO-style receive coalescing on every receiver (off by default —
+    /// the paper's hosts disable GRO/LRO for the measurements, and the
+    /// pinned byte-identity fixtures assume per-segment ACK policy).
+    pub coalesce: bool,
 }
 
 impl_json_struct!(ScenarioConfig {
@@ -95,6 +99,7 @@ impl_json_struct!(ScenarioConfig {
     loss,
     faults,
     max_events,
+    coalesce,
 });
 
 /// Fluent constructor for [`ScenarioConfig`]: start from the paper
@@ -191,6 +196,12 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enable GRO-style receive coalescing on every receiver.
+    pub fn coalesce(mut self, coalesce: bool) -> Self {
+        self.cfg.coalesce = coalesce;
+        self
+    }
+
     /// Validate and return the config ([`ScenarioConfig::validate`]).
     pub fn build(self) -> Result<ScenarioConfig, String> {
         self.cfg.validate()?;
@@ -238,6 +249,7 @@ impl ScenarioConfig {
             loss: LossModel::None,
             faults: FaultPlan::none(),
             max_events: u64::MAX,
+            coalesce: false,
         }
     }
 
@@ -311,9 +323,13 @@ impl ScenarioConfig {
     }
 
     /// Stable cache key for (config, seed) results.
+    ///
+    /// Opt-in knobs append suffixes only when they deviate from the
+    /// default (mirroring the fault fingerprint), so the plain grid's
+    /// keys — and any cache entries already on disk — are unchanged.
     pub fn cache_key(&self, seed: u64) -> String {
         format!(
-            "{}-{}-{}-q{:.2}bdp-{}mbps-d{}ms-w{}ms-fs{:.3}-mss{}-ecn{}-rtt{}-s{}{}",
+            "{}-{}-{}-q{:.2}bdp-{}mbps-d{}ms-w{}ms-fs{:.3}-mss{}-ecn{}-rtt{}-s{}{}{}",
             self.cca1,
             self.cca2,
             self.aqm,
@@ -327,6 +343,7 @@ impl ScenarioConfig {
             self.rtt_ms,
             seed,
             self.fault_fingerprint(),
+            if self.coalesce { "-gro" } else { "" },
         )
     }
 
@@ -502,6 +519,31 @@ mod tests {
         let mut zero_budget = base.clone();
         zero_budget.max_events = 0;
         assert!(zero_budget.validate().is_err());
+    }
+
+    #[test]
+    fn coalesce_knob_changes_cache_key_only_when_enabled() {
+        let opts = RunOptions::standard();
+        let base =
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        assert!(!base.coalesce);
+        assert!(
+            !base.cache_key(1).contains("-gro"),
+            "default configs must keep their pre-coalescing cache keys"
+        );
+        let gro = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .coalesce(true)
+        .build()
+        .unwrap();
+        assert_ne!(base.cache_key(1), gro.cache_key(1));
+        assert!(gro.cache_key(1).ends_with("-gro"));
     }
 
     #[test]

@@ -119,7 +119,12 @@ pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuratio
                 r_node,
                 cca,
             );
-            let rx = TcpReceiver::new(ReceiverConfig::default(), s_node);
+            let rx_cfg = if cfg.coalesce {
+                ReceiverConfig::coalesced()
+            } else {
+                ReceiverConfig::default()
+            };
+            let rx = TcpReceiver::new(rx_cfg, s_node);
             sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start);
             flow_sender.push(sender_idx);
         }

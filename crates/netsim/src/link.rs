@@ -86,6 +86,14 @@ pub struct Link {
     /// Per-packet trace ring (flight recorder); `None` — the default —
     /// costs one predictable branch per queue operation.
     trace: Option<Box<EventRing>>,
+    /// One-entry memo of `(rate, size) -> serialization time`. A link's
+    /// traffic is dominated by one segment size (MSS data one way, fixed
+    /// ACKs the other), so this turns the per-packet u128 division in
+    /// [`Bandwidth::serialization_time`] into a compare. Keyed on the rate
+    /// too: a `SetBandwidth` fault (or direct `rate` mutation) simply
+    /// misses once. Pure caching of an exact value — schedules are
+    /// bit-identical with and without it.
+    ser_memo: Option<(Bandwidth, u32, SimDuration)>,
 }
 
 impl Link {
@@ -107,6 +115,7 @@ impl Link {
             busy: false,
             stats: LinkStats::default(),
             trace: None,
+            ser_memo: None,
         }
     }
 
@@ -186,7 +195,14 @@ impl Link {
                 size: pkt.size,
             });
         }
-        let ser = self.rate.serialization_time(pkt.size as u64);
+        let ser = match self.ser_memo {
+            Some((rate, size, ser)) if rate == self.rate && size == pkt.size => ser,
+            _ => {
+                let ser = self.rate.serialization_time(pkt.size as u64);
+                self.ser_memo = Some((self.rate, pkt.size, ser));
+                ser
+            }
+        };
         self.busy = true;
         self.stats.pkts_tx += 1;
         self.stats.bytes_tx += pkt.size as u64;

@@ -516,7 +516,28 @@ impl Simulator {
     /// simulation and inspect state in between (endpoints, link/queue
     /// stats). `run()` drives this to `cfg.duration` and builds the
     /// summary.
+    ///
+    /// Check dispatch is decided *here*, once per call, not per event: the
+    /// `checker.is_some()` test is hoisted into a register-resident flag
+    /// that the loop, [`Simulator::deliver`], and the per-emitted-packet
+    /// path of [`Simulator::dispatch`] branch on, instead of re-loading
+    /// and testing the checker `Option` at every site. The checker can
+    /// only be (un)installed between `run_until` calls, so the one-time
+    /// selection is exact, and the checked path sees byte-for-byte the
+    /// same event schedule — checking still observes, never perturbs.
+    ///
+    /// A `const CHECKED: bool` monomorphization of the loop (two
+    /// branch-free instantiations) was tried first and *measured slower*
+    /// on the benchmark host than this spelling — duplicating the event
+    /// loop doubles its instruction footprint and perturbs LLVM's
+    /// inlining of the dispatch fan-out, which costs more than the
+    /// predicted-not-taken flag tests save. See DESIGN.md §3d.
     pub fn run_until(&mut self, until: SimTime) {
+        let checked = self.checker.is_some();
+        self.run_until_impl(checked, until);
+    }
+
+    fn run_until_impl(&mut self, checked: bool, until: SimTime) {
         self.start_flows_once();
         let mark_at = SimTime::ZERO + self.cfg.warmup;
         while let Some(at) = self.events.peek_time() {
@@ -537,9 +558,7 @@ impl Simulator {
             if !matches!(ev, Event::Sample) {
                 self.processed += 1;
             }
-            // Checker preamble (out-of-line; the `is_some` test is the only
-            // cost when checking is off).
-            if self.checker.is_some() {
+            if checked {
                 self.checker_pre_event(at, &ev);
             }
             match ev {
@@ -549,7 +568,7 @@ impl Simulator {
                 }
                 Event::Deliver { node, pkt } => {
                     let pkt = self.events.take_packet(pkt);
-                    self.deliver(node, pkt);
+                    self.deliver(checked, node, pkt);
                 }
                 Event::Fault { link, idx } => {
                     let action = self.fault_actions[idx as usize];
@@ -577,13 +596,13 @@ impl Simulator {
                     if gen != current {
                         continue;
                     }
-                    self.dispatch(flow, dir, |ep, ctx| match kind {
+                    self.dispatch(checked, flow, dir, |ep, ctx| match kind {
                         TimerKind::Start => ep.on_start(ctx),
                         k => ep.on_timer(k, ctx),
                     });
                 }
             }
-            if self.checker.is_some() {
+            if checked {
                 self.run_event_checks();
             }
         }
@@ -725,7 +744,7 @@ impl Simulator {
         }
     }
 
-    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+    fn deliver(&mut self, checked: bool, node: NodeId, pkt: Packet) {
         use crate::topology::NodeKind;
         match self.topo.kind(node) {
             NodeKind::Router => {
@@ -738,17 +757,25 @@ impl Simulator {
             }
             NodeKind::Host => {
                 debug_assert_eq!(pkt.dst, node, "packet delivered to wrong host");
-                if let Some(ck) = self.checker.as_deref_mut() {
-                    ck.note_delivered();
+                if checked {
+                    if let Some(ck) = self.checker.as_deref_mut() {
+                        ck.note_delivered();
+                    }
                 }
                 // Data packets go to the receiver endpoint, ACKs to the sender.
                 let dir = if pkt.is_data() { Dir::Receiver } else { Dir::Sender };
-                self.dispatch(pkt.flow, dir, |ep, ctx| ep.on_packet(&pkt, ctx));
+                self.dispatch(checked, pkt.flow, dir, |ep, ctx| ep.on_packet(&pkt, ctx));
             }
         }
     }
 
-    fn dispatch(&mut self, flow: FlowId, dir: Dir, f: impl FnOnce(&mut dyn FlowEndpoint, &mut Ctx)) {
+    fn dispatch(
+        &mut self,
+        checked: bool,
+        flow: FlowId,
+        dir: Dir,
+        f: impl FnOnce(&mut dyn FlowEndpoint, &mut Ctx),
+    ) {
         let mut emitted = std::mem::take(&mut self.scratch_pkts);
         let mut timers = std::mem::take(&mut self.scratch_timers);
         let (local, _peer);
@@ -785,8 +812,10 @@ impl Simulator {
                 debug_assert!(false, "no route from host {local:?} to {:?}", pkt.dst);
                 continue;
             };
-            if let Some(ck) = self.checker.as_deref_mut() {
-                ck.note_injected();
+            if checked {
+                if let Some(ck) = self.checker.as_deref_mut() {
+                    ck.note_injected();
+                }
             }
             let now = self.now;
             self.topo.link_mut(link).offer(pkt, now, &mut self.events, &mut self.rng);

@@ -11,11 +11,32 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReceiverConfig {
     /// ACK every n-th in-order segment (Linux delayed ACK ≈ 2).
+    ///
+    /// `0` is normalized to `1` (immediate ACK for every segment) at
+    /// receiver construction — the literal reading ("never ACK on a count
+    /// threshold") would leave every in-order window stalled on the
+    /// delayed-ACK timer, which no TCP does.
     pub ack_every: u32,
     /// Delayed-ACK timeout.
+    ///
+    /// A zero timeout means ACKs are never delayed; it is normalized to
+    /// immediate ACKing (`ack_every = 1`) rather than arming a timer for
+    /// "now", which would ACK one event later and double the timer load.
     pub delack_timeout: SimDuration,
     /// Throughput time-series bucket width (0 disables the series).
     pub series_interval: SimDuration,
+    /// GRO-style receive coalescing: batch up to this many back-to-back
+    /// in-order segments into one cumulative ACK (`0` disables coalescing,
+    /// the default). When enabled this *replaces* the delayed-ACK policy:
+    /// the count threshold is `coalesce_segs` and the flush timer is
+    /// [`ReceiverConfig::coalesce_timeout`]. Reordering, duplicates and
+    /// ECN marks still force an immediate ACK, so loss recovery and ECN
+    /// feedback latency are unchanged.
+    pub coalesce_segs: u32,
+    /// Deadline for flushing a partially filled coalescing batch (the
+    /// GRO flush timer). Zero is normalized to immediate ACKing
+    /// (`coalesce_segs = 1`). Only meaningful when `coalesce_segs > 0`.
+    pub coalesce_timeout: SimDuration,
 }
 
 impl Default for ReceiverConfig {
@@ -24,6 +45,43 @@ impl Default for ReceiverConfig {
             ack_every: 2,
             delack_timeout: SimDuration::from_millis(40),
             series_interval: SimDuration::ZERO,
+            coalesce_segs: 0,
+            coalesce_timeout: SimDuration::from_micros(500),
+        }
+    }
+}
+
+impl ReceiverConfig {
+    /// The default coalescing preset: aggregate up to 16 back-to-back
+    /// in-order segments (~142 KB of paper-MSS data, comfortably under a
+    /// 25 Gbps link's 50 µs of wire time) into one ACK, with a 500 µs
+    /// flush deadline so low-rate flows still see a prompt ACK clock.
+    pub fn coalesced() -> Self {
+        ReceiverConfig { coalesce_segs: 16, ..Default::default() }
+    }
+
+    /// Degenerate-value normalization (see the field docs): `ack_every == 0`
+    /// and zero timeouts all collapse to immediate-ACK semantics instead of
+    /// stalling on (or spamming) the flush timer. Applied by
+    /// [`TcpReceiver::new`]; idempotent.
+    pub fn normalized(mut self) -> Self {
+        if self.ack_every == 0 || self.delack_timeout.is_zero() {
+            self.ack_every = 1;
+        }
+        if self.coalesce_segs > 0 && self.coalesce_timeout.is_zero() {
+            self.coalesce_segs = 1;
+        }
+        self
+    }
+
+    /// The in-order segment count that triggers an ACK, and the timer
+    /// deadline for a partial batch — the delayed-ACK pair, or the
+    /// coalescing pair when coalescing is enabled.
+    fn ack_policy(&self) -> (u32, SimDuration) {
+        if self.coalesce_segs > 0 {
+            (self.coalesce_segs, self.coalesce_timeout)
+        } else {
+            (self.ack_every, self.delack_timeout)
         }
     }
 }
@@ -54,10 +112,11 @@ pub struct TcpReceiver {
 }
 
 impl TcpReceiver {
-    /// A receiver whose ACKs go to `peer`.
+    /// A receiver whose ACKs go to `peer`. Degenerate configuration values
+    /// are normalized here (see [`ReceiverConfig::normalized`]).
     pub fn new(cfg: ReceiverConfig, peer: NodeId) -> Self {
         TcpReceiver {
-            cfg,
+            cfg: cfg.normalized(),
             peer,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
@@ -212,11 +271,14 @@ impl FlowEndpoint for TcpReceiver {
             out_of_order = true;
         }
 
-        // Immediate ACK on reordering/dup/ECN, otherwise delayed-ACK policy.
-        if out_of_order || self.ecn_pending || self.unacked_count >= self.cfg.ack_every {
+        // Immediate ACK on reordering/dup/ECN; otherwise the delayed-ACK
+        // policy, or — when receive coalescing is on — the GRO-style batch
+        // policy (bigger count budget, much shorter flush deadline).
+        let (threshold, flush_after) = self.cfg.ack_policy();
+        if out_of_order || self.ecn_pending || self.unacked_count >= threshold {
             self.send_ack(ctx);
         } else if self.delack_deadline.is_none() {
-            let at = ctx.now + self.cfg.delack_timeout;
+            let at = ctx.now + flush_after;
             self.delack_deadline = Some(at);
             ctx.set_timer(TimerKind::DelAck, at);
         }
@@ -403,4 +465,83 @@ mod tests {
         assert_eq!(acks.len(), 4);
     }
 
+    /// Regression (mirrors PR 6's `dupthresh == 0` fix on the sender side):
+    /// `ack_every == 0` must mean "ACK every segment", not "never reach the
+    /// count threshold and stall every window on the delayed-ACK timer".
+    #[test]
+    fn ack_every_zero_normalizes_to_immediate_ack() {
+        let cfg = ReceiverConfig { ack_every: 0, ..Default::default() };
+        let script = (0..4).map(|i| (i * 10, i)).collect();
+        let (acks, _) = run_script(script, cfg);
+        assert_eq!(acks.len(), 4, "ack_every = 0 must ACK every segment");
+        assert_eq!(acks.last().unwrap().cum, 4);
+    }
+
+    /// A zero delayed-ACK timeout means "never delay an ACK" — normalized
+    /// to immediate ACKing instead of arming a timer for the current
+    /// instant on every odd segment.
+    #[test]
+    fn zero_delack_timeout_means_never_delayed() {
+        let cfg = ReceiverConfig { delack_timeout: SimDuration::ZERO, ..Default::default() };
+        let script = (0..4).map(|i| (i * 10, i)).collect();
+        let (acks, _) = run_script(script, cfg);
+        assert_eq!(acks.len(), 4, "zero delack timeout must ACK immediately");
+    }
+
+    #[test]
+    fn zero_coalesce_timeout_normalizes_to_immediate_ack() {
+        let cfg = ReceiverConfig {
+            coalesce_segs: 16,
+            coalesce_timeout: SimDuration::ZERO,
+            ..Default::default()
+        };
+        let script = (0..4).map(|i| (i * 10, i)).collect();
+        let (acks, _) = run_script(script, cfg);
+        assert_eq!(acks.len(), 4, "zero flush deadline must ACK immediately");
+    }
+
+    #[test]
+    fn coalescing_batches_in_order_segments_into_one_ack() {
+        let cfg = ReceiverConfig {
+            coalesce_segs: 4,
+            coalesce_timeout: SimDuration::from_millis(200),
+            ..Default::default()
+        };
+        let script = (0..8).map(|i| (i, i)).collect();
+        let (acks, rep) = run_script(script, cfg);
+        assert_eq!(rep.delivered_segments, 8, "coalescing must not lose data");
+        let cums: Vec<u64> = acks.iter().map(|a| a.cum).collect();
+        assert_eq!(cums, vec![4, 8], "4-segment batches → one ACK per batch");
+    }
+
+    #[test]
+    fn coalescing_flush_timer_flushes_partial_batch() {
+        let cfg = ReceiverConfig {
+            coalesce_segs: 8,
+            coalesce_timeout: SimDuration::from_millis(5),
+            ..Default::default()
+        };
+        let script = vec![(0, 0), (1, 1), (2, 2)];
+        let (acks, rep) = run_script(script, cfg);
+        assert_eq!(rep.delivered_segments, 3);
+        assert_eq!(acks.len(), 1, "partial batch must be flushed by the timer");
+        assert_eq!(acks[0].cum, 3);
+    }
+
+    #[test]
+    fn coalescing_still_acks_reordering_immediately() {
+        let cfg = ReceiverConfig {
+            coalesce_segs: 16,
+            coalesce_timeout: SimDuration::from_millis(200),
+            ..Default::default()
+        };
+        // Seq 2 arrives out of order: the SACK must go out at once, not
+        // wait out the coalescing budget, or fast retransmit stalls.
+        let script = vec![(0, 0), (10, 2), (20, 1)];
+        let (acks, _) = run_script(script, cfg);
+        let sacked = acks.iter().find(|a| a.n_sacks > 0).expect("expected immediate SACK");
+        assert_eq!(sacked.cum, 1);
+        assert_eq!(sacked.sacks[0], (2, 3));
+        assert_eq!(acks.last().unwrap().cum, 3);
+    }
 }

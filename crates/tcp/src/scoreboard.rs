@@ -39,6 +39,52 @@ pub struct PktMeta {
     pub app_limited_at_send: bool,
 }
 
+/// Aggregate of everything ACK processing needs from the segments removed
+/// by one cumulative-ACK advance ([`Scoreboard::advance_una_batch`]).
+///
+/// All four facts are associative folds over the removed segments, so one
+/// GRO-coalesced ACK covering dozens of segments costs one scoreboard pass
+/// and one fixed-size summary — no per-segment callback into the sender.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AckBatch {
+    /// Removed segments that were not already SACK-delivered: the ones
+    /// this ACK newly accounts as delivered.
+    pub newly_acked: u64,
+    /// Some removed segment was marked Lost and never retransmitted —
+    /// its *original* transmission arrived, the F-RTO/Eifel evidence that
+    /// a timeout in progress was spurious.
+    pub lost_never_retx: bool,
+    /// The removed segment with the highest `delivered_at_send` (later
+    /// sequence wins ties) and its sequence: the delivery-rate and
+    /// round-accounting sample candidate.
+    pub sample: Option<(u64, PktMeta)>,
+    /// Latest transmission time among never-retransmitted segments
+    /// (Karn's rule): `now - latest_clean_tx` is the smallest — i.e. the
+    /// taken — RTT sample of the batch.
+    pub latest_clean_tx: Option<SimTime>,
+}
+
+impl AckBatch {
+    /// Fold one removed segment into the aggregate (in sequence order —
+    /// the tie-breaks match the per-segment callback spelling exactly).
+    fn fold(&mut self, seq: u64, meta: &PktMeta) {
+        if meta.state != PktState::Sacked {
+            self.newly_acked += 1;
+        }
+        if meta.state == PktState::Lost && !meta.retx {
+            self.lost_never_retx = true;
+        }
+        if !meta.retx {
+            self.latest_clean_tx =
+                Some(self.latest_clean_tx.map_or(meta.tx_time, |t| t.max(meta.tx_time)));
+        }
+        match self.sample {
+            Some((_, best)) if meta.delivered_at_send < best.delivered_at_send => {}
+            _ => self.sample = Some((seq, *meta)),
+        }
+    }
+}
+
 /// The scoreboard proper.
 #[derive(Debug, Default)]
 pub struct Scoreboard {
@@ -157,6 +203,22 @@ impl Scoreboard {
             f(self.base, &meta);
             self.base += 1;
         }
+    }
+
+    /// Advance the cumulative ACK point to `new_una`, folding the removed
+    /// segments into one [`AckBatch`] in a single pass.
+    ///
+    /// This is the coalescing-era spelling of [`Scoreboard::advance_una`]:
+    /// a GRO-batched ACK can cover dozens of segments, and everything the
+    /// sender's ACK processing needs from them is associative — so the
+    /// scoreboard folds the batch itself instead of invoking a callback
+    /// per segment. The fold is exactly equivalent to the callback
+    /// spelling (same iteration order, same tie-breaks), so non-coalesced
+    /// runs are byte-identical either way.
+    pub fn advance_una_batch(&mut self, new_una: u64) -> AckBatch {
+        let mut batch = AckBatch::default();
+        self.advance_una(new_una, |seq, meta| batch.fold(seq, meta));
+        batch
     }
 
     /// Apply a SACK range `[start, end)`; invokes `f` for every segment

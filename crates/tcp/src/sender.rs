@@ -297,43 +297,43 @@ impl TcpSender {
         let mut sample_seq = 0u64;
         let mut rtt_sample: Option<SimDuration> = None;
 
-        let mut consider = |seq: u64, meta: &PktMeta, rtt_sample: &mut Option<SimDuration>| {
-            if sample.is_none_or(|s| meta.delivered_at_send >= s.delivered_at_send) {
-                sample = Some(*meta);
-                sample_seq = seq;
-            }
-            if !meta.retx {
-                let r = now.since(meta.tx_time);
-                *rtt_sample = Some(rtt_sample.map_or(r, |x: SimDuration| x.min(r)));
-            }
-        };
-
         let mut spurious_evidence = false;
         if info.cum > self.board.snd_una() {
-            let in_rto = self.rto_episode;
-            self.board.advance_una(info.cum, |seq, meta| {
-                // Sacked segments were already counted as delivered.
-                if meta.state != PktState::Sacked {
-                    newly_acked_bytes += mss;
+            // One scoreboard pass folds the whole cumulative advance — a
+            // GRO-coalesced ACK can cover dozens of segments — into a
+            // fixed-size batch. Sacked segments were already counted as
+            // delivered; a Lost-but-never-retransmitted segment covered
+            // cumulatively is F-RTO/Eifel evidence the timeout in progress
+            // was spurious (its original transmission arrived).
+            let batch = self.board.advance_una_batch(info.cum);
+            newly_acked_bytes += batch.newly_acked * mss;
+            if self.rto_episode && batch.lost_never_retx {
+                spurious_evidence = true;
+            }
+            if let Some((seq, meta)) = batch.sample {
+                if sample.is_none_or(|s| meta.delivered_at_send >= s.delivered_at_send) {
+                    sample = Some(meta);
+                    sample_seq = seq;
                 }
-                // F-RTO/Eifel: the cumulative ACK covered a segment we had
-                // declared lost but never retransmitted — its *original*
-                // transmission arrived, so the timeout was spurious.
-                if in_rto && meta.state == PktState::Lost && !meta.retx {
-                    spurious_evidence = true;
-                }
-                consider(seq, meta, &mut rtt_sample);
-            });
+            }
+            if let Some(tx) = batch.latest_clean_tx {
+                let r = now.since(tx);
+                rtt_sample = Some(rtt_sample.map_or(r, |x: SimDuration| x.min(r)));
+            }
         }
         for (s, e) in info.sack_ranges() {
             self.board.apply_sack(s, e, |seq, meta| {
                 newly_acked_bytes += mss;
-                consider(seq, meta, &mut rtt_sample);
+                if sample.is_none_or(|s| meta.delivered_at_send >= s.delivered_at_send) {
+                    sample = Some(*meta);
+                    sample_seq = seq;
+                }
+                if !meta.retx {
+                    let r = now.since(meta.tx_time);
+                    rtt_sample = Some(rtt_sample.map_or(r, |x: SimDuration| x.min(r)));
+                }
             });
         }
-        // `consider` borrows `sample`/`sample_seq`; shadow it out of scope.
-        #[allow(dropping_copy_types, clippy::drop_non_drop)]
-        drop(consider);
 
         if newly_acked_bytes > 0 {
             self.delivered += newly_acked_bytes;

@@ -1,30 +1,42 @@
 #!/usr/bin/env bash
 # Benchmark-regression pipeline.
 #
-# Runs the engine benchmark on the paper's 25 Gbps FIFO quick scenario and
-# folds the measurement into BENCH_netsim.json at the workspace root
-# (events/sec, ns/event, peak bottleneck-queue depth). Entries are keyed by
-# BENCH_LABEL (default "current"); re-running with the same label replaces
-# that entry, so the file is an append-only perf trajectory across PRs.
+# Runs the engine benchmark on the two tracked scenarios — the paper's
+# 25 Gbps FIFO cell at quick scale and the same cell at standard scale
+# (Table 2's 500-flow workload) — and folds the measurements into
+# BENCH_netsim.json at the workspace root (events/sec, ns/event,
+# min/median/max sample spread, peak bottleneck-queue depth). Entries are
+# keyed by BENCH_LABEL (default "current"; the Table-2 entry appends
+# "-table2", override with BENCH_LABEL_TABLE2); re-running with the same
+# label replaces that entry, so the file is an append-only perf trajectory
+# across PRs.
 #
 # Usage:
 #   scripts/bench.sh                 # measure and record under "current"
-#   BENCH_LABEL=pr3 scripts/bench.sh # record under a milestone label
+#   BENCH_LABEL=pr7 scripts/bench.sh # record under a milestone label
+#   scripts/bench.sh --gate          # then fail if events/sec dropped >10%
+#                                    # vs the previous committed entry
+#                                    # (threshold: BENCH_GATE_THRESHOLD)
 #   scripts/bench.sh --all           # also run the non-regression benches
 #
-# A PR regresses the engine if its events_per_sec entry drops more than 10%
-# below the best previously committed entry (see EXPERIMENTS.md).
+# The gate is how a PR 6-style silent regression gets caught: it compares
+# each fresh entry against the previous committed entry for the same
+# benchmark id (see EXPERIMENTS.md for the methodology).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FILTER="engine/25gbps_fifo_quick"
-if [[ "${1:-}" == "--all" ]]; then
-    FILTER=""
-fi
+FILTER="engine/25gbps_fifo"
+for arg in "$@"; do
+  case "$arg" in
+    --all) FILTER="" ;;
+    --gate) export BENCH_GATE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cargo bench --offline -p elephants-bench --bench engine -- ${FILTER}
 
 echo
 echo "=== BENCH_netsim.json ==="
-cat BENCH_netsim.json
+cat "${BENCH_OUT:-BENCH_netsim.json}"

@@ -24,7 +24,15 @@
 #                                `--check strict`, built in the `checked`
 #                                profile (release speed + debug assertions):
 #                                any runtime-invariant violation panics the
-#                                run and fails the lane
+#                                run and fails the lane; one extra cell runs
+#                                with --coalesce so the GRO-style receive
+#                                path is strict-checked too
+#   scripts/ci.sh --bench-gate   also run the tracked engine benchmarks
+#                                against a scratch copy of the committed
+#                                BENCH_netsim.json and fail when events/sec
+#                                drops more than 10% below the previous
+#                                committed entry (the PR 6 regression
+#                                detector; threshold: BENCH_GATE_THRESHOLD)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,12 +41,14 @@ bench_smoke=0
 fault_smoke=0
 record_smoke=0
 check_smoke=0
+bench_gate=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) bench_smoke=1 ;;
     --fault-smoke) fault_smoke=1 ;;
     --record-smoke) record_smoke=1 ;;
     --check-smoke) check_smoke=1 ;;
+    --bench-gate) bench_gate=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -49,6 +59,18 @@ cargo test -q --offline
 
 if [[ "$bench_smoke" -eq 1 ]]; then
   cargo bench --offline -p elephants-bench -- --test
+fi
+
+if [[ "$bench_gate" -eq 1 ]]; then
+  # Fresh measurement of the tracked engine scenarios, gated against the
+  # committed trajectory. The measurement goes to a scratch copy so CI
+  # never dirties BENCH_netsim.json; the gate still compares against the
+  # committed entries because the copy carries them.
+  gate_out="$(mktemp)"
+  trap 'rm -f "$gate_out"' EXIT
+  cp BENCH_netsim.json "$gate_out"
+  BENCH_OUT="$gate_out" BENCH_GATE=1 BENCH_LABEL=ci-gate \
+    cargo bench --offline -p elephants-bench --bench engine -- engine/25gbps_fifo
 fi
 
 if [[ "$fault_smoke" -eq 1 ]]; then
@@ -106,4 +128,18 @@ if [[ "$check_smoke" -eq 1 ]]; then
       fi
     done
   done
+
+  # One coalescing-enabled cell: the GRO-style receive path must satisfy
+  # the same strict invariants as the per-segment default.
+  out="$(cargo run --profile checked --offline -p elephants-experiments --bin probe -- \
+    --cca1 cubic --cca2 cubic --aqm fifo --queue 2 --bw 100M --secs 5 \
+    --coalesce --check strict 2>&1 | tee /dev/stderr)"
+  if ! grep -q 'check        : mode=Strict' <<<"$out"; then
+    echo "check smoke (coalesce): strict checker did not report" >&2
+    exit 1
+  fi
+  if ! grep -q 'violations=0' <<<"$out"; then
+    echo "check smoke (coalesce): violations reported" >&2
+    exit 1
+  fi
 fi

@@ -1,0 +1,176 @@
+//! Receive-side coalescing identity and conservation tests.
+//!
+//! PR 7 adds an opt-in GRO-style coalescing layer to the TCP receiver.
+//! Two properties pin its safety envelope:
+//!
+//! 1. **Identity when off** — with coalescing disabled (the default), every
+//!    run's `RunMetrics` JSON must be byte-identical to fixtures pinned
+//!    from the build *before* the coalescing layer (and the monomorphized
+//!    checker dispatch) existed. Any diff here means the refactor changed
+//!    simulation behaviour, not just its speed.
+//! 2. **Conservation when on** — with coalescing enabled, runs across the
+//!    5×5 CCA×AQM grid must stay clean under the strict invariant checker
+//!    (packet conservation: aggregation must not create or destroy data)
+//!    and keep goodput physically conserved — below link capacity, above
+//!    collapse — relative to the non-coalesced run.
+//!
+//! Regenerate the pinned fixtures (only when intentionally re-baselining,
+//! from a build whose behaviour is known-good) with:
+//!
+//! ```sh
+//! UPDATE_FIXTURES=1 cargo test -q -p integration-tests --test coalesce
+//! ```
+
+use elephants::cca::CcaKind;
+use elephants::experiments::{RunOptions, Runner, ScenarioConfig};
+use elephants::json::ToJson;
+use elephants::netsim::CheckMode;
+use elephants::{AqmKind, SimDuration};
+use std::path::PathBuf;
+
+const FIXTURE_SEED: u64 = 42;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/coalesce")
+}
+
+/// The pinned cells: one per AQM, cycling through the five CCAs (all vs
+/// CUBIC) so every discipline and every sender implementation appears.
+/// 100 Mbps quick keeps each cell a debug-mode-friendly few seconds.
+fn fixture_cells() -> Vec<(String, ScenarioConfig)> {
+    let pairs = [
+        (CcaKind::BbrV1, AqmKind::Fifo),
+        (CcaKind::BbrV2, AqmKind::Red),
+        (CcaKind::Cubic, AqmKind::FqCodel),
+        (CcaKind::Reno, AqmKind::Codel),
+        (CcaKind::Htcp, AqmKind::Pie),
+    ];
+    pairs
+        .iter()
+        .map(|&(cca, aqm)| {
+            let mut opts = RunOptions::quick();
+            opts.seed = FIXTURE_SEED;
+            let cfg =
+                ScenarioConfig::new(cca, CcaKind::Cubic, aqm, 2.0, 100_000_000, &opts);
+            (format!("{cca}_{aqm}.json"), cfg)
+        })
+        .collect()
+}
+
+fn metrics_json(cfg: &ScenarioConfig) -> String {
+    Runner::new(cfg)
+        .seed(FIXTURE_SEED)
+        .run()
+        .unwrap_or_else(|e| panic!("{} failed: {e}", cfg.label()))
+        .into_first()
+        .metrics()
+        .to_json_string()
+}
+
+/// Coalescing disabled (the default) must reproduce the pre-change build's
+/// pinned `RunMetrics` byte-for-byte. This is the contract that lets the
+/// hot-path refactor land as a pure optimization.
+#[test]
+fn coalesce_off_is_byte_identical_to_pre_change_fixtures() {
+    let dir = fixture_dir();
+    let regen = std::env::var_os("UPDATE_FIXTURES").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, cfg) in fixture_cells() {
+        let got = metrics_json(&cfg);
+        let path = dir.join(&name);
+        if regen {
+            std::fs::write(&path, &got).unwrap();
+            eprintln!("regenerated fixture {}", path.display());
+            continue;
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} ({e}); regenerate with UPDATE_FIXTURES=1 \
+                 only from a known-good build",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            want,
+            "{}: RunMetrics diverged from the pre-change pinned fixture",
+            cfg.label()
+        );
+    }
+}
+
+/// Every CCA×AQM cell of the paper grid, run with coalescing enabled under
+/// the strict runtime checker: the batched ACK path must satisfy the same
+/// packet-conservation invariants as the per-segment default (no packet
+/// created or destroyed by aggregation — that is what the checker proves),
+/// and the goodput it delivers must stay physically conserved: bounded by
+/// link capacity above and by no-collapse below. Exact goodput equality is
+/// *not* asserted — ACK timing feeds back into the congestion controller,
+/// so coalescing legitimately shifts short-window dynamics (Reno under PIE
+/// moves by ~40% over a 2 s window; per-ACK window growth makes loss-based
+/// CCAs ramp slower under ACK thinning); what it must never do is
+/// manufacture bytes or wedge the transfer.
+#[test]
+fn coalesce_on_conserves_delivery_across_the_grid_under_strict_check() {
+    const CCAS: [CcaKind; 5] =
+        [CcaKind::Reno, CcaKind::Cubic, CcaKind::Htcp, CcaKind::BbrV1, CcaKind::BbrV2];
+    const AQMS: [AqmKind; 5] =
+        [AqmKind::Fifo, AqmKind::Red, AqmKind::Codel, AqmKind::FqCodel, AqmKind::Pie];
+    for cca in CCAS {
+        for aqm in AQMS {
+            let build = |coalesce: bool| {
+                // 8 s (6 s measurement window past warmup) lets steady
+                // state dominate the slower ACK-thinned ramp while keeping
+                // the 25-cell grid debug-mode tractable.
+                ScenarioConfig::builder(
+                    cca,
+                    CcaKind::Cubic,
+                    aqm,
+                    2.0,
+                    100_000_000,
+                    &RunOptions::quick(),
+                )
+                .duration(SimDuration::from_secs(8))
+                .coalesce(coalesce)
+                .build()
+                .unwrap()
+            };
+            let run = |cfg: &ScenarioConfig| {
+                let outcome = Runner::new(cfg)
+                    .seed(FIXTURE_SEED)
+                    .check(CheckMode::Strict)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{} failed: {e}", cfg.label()));
+                assert!(
+                    outcome.check_reports.iter().all(|r| r.is_clean()),
+                    "{}: strict checker reported violations",
+                    cfg.label()
+                );
+                outcome.into_first()
+            };
+            let plain = run(&build(false));
+            let gro = run(&build(true));
+
+            let total = |r: &elephants::experiments::RunResult| -> f64 {
+                r.sender_mbps.iter().sum()
+            };
+            let (p, g) = (total(&plain), total(&gro));
+            assert!(g > 0.0, "{cca}/{aqm}: coalesced run delivered nothing");
+            // Window-average goodput can exceed the link rate by the queue
+            // standing at the window boundary: the 2-BDP queue holds
+            // 12.4 Mbit, worth a few Mbps over the 6 s window.
+            assert!(
+                g <= 106.0,
+                "{cca}/{aqm}: coalesced goodput {g:.2} Mbps exceeds the \
+                 100 Mbps bottleneck plus queue drain — bytes were manufactured"
+            );
+            assert!(
+                g >= 0.5 * p,
+                "{cca}/{aqm}: coalescing collapsed goodput \
+                 ({p:.2} Mbps plain vs {g:.2} Mbps coalesced)"
+            );
+        }
+    }
+}
