@@ -20,7 +20,10 @@
 //! * [`experiments`] — the Table 1 grid, parallel sweeps, and one
 //!   regeneration entry point per paper figure/table;
 //! * [`telemetry`] — the flight recorder: versioned per-run dynamics
-//!   artifacts (cwnd/queue time series) behind the paper-style figures.
+//!   artifacts (cwnd/queue time series) behind the paper-style figures;
+//! * [`chaos`] — the deterministic fuzzer: seeded scenario/fault
+//!   generation, a four-oracle judge, automatic shrinking, and the
+//!   replayable regression corpus under `tests/fixtures/chaos/`.
 //!
 //! ## Quickstart
 //!
@@ -45,6 +48,7 @@ pub use elephants_json as json;
 
 pub use elephants_aqm as aqm;
 pub use elephants_cca as cca;
+pub use elephants_chaos as chaos;
 pub use elephants_experiments as experiments;
 pub use elephants_metrics as metrics;
 pub use elephants_netsim as netsim;

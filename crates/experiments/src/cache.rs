@@ -14,8 +14,9 @@
 //!   `*.quarantine`, counted, warned about) rather than silently
 //!   recomputed — corruption is a signal worth surfacing, and the rename
 //!   stops the next run from tripping over the same bytes.
-//! * Write failures are counted in [`cache_put_errors`] (and surfaced in
-//!   sweep summaries) instead of being swallowed: a full disk should not
+//! * Write failures are counted per cache instance ([`RunCache::put_errors`])
+//!   and aggregated process-wide ([`cache_put_errors`]), surfaced in sweep
+//!   summaries instead of being swallowed: a full disk should not
 //!   masquerade as a cold cache.
 
 use crate::runner::{RunError, RunResult};
@@ -23,13 +24,16 @@ use crate::scenario::ScenarioConfig;
 use elephants_json::{FromJson, ToJson};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Version stamp embedded in every cache filename. Bump when the
 /// `RunResult` JSON schema (or the meaning of any field) changes.
 /// v4: `ScenarioConfig` gained the `coalesce` knob (PR 7) — entries
 /// serialized without it no longer parse.
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+/// v5: `RunResult` gained `fault_events_applied` (PR 8) — entries
+/// serialized without it no longer parse.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
 
 /// Cache writes that failed (IO errors on create/write).
 static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);
@@ -37,14 +41,28 @@ static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);
 /// Cache entries quarantined because they existed but failed to parse.
 static CACHE_QUARANTINED: AtomicU64 = AtomicU64::new(0);
 
-/// Number of cache writes that failed so far in this process.
+/// Number of cache writes that failed so far in this process, across every
+/// [`RunCache`] instance. Prefer the per-instance [`RunCache::put_errors`]
+/// in tests and sweep summaries — this aggregate is shared by concurrently
+/// running sweeps (and parallel tests), so deltas on it race.
 pub fn cache_put_errors() -> u64 {
     CACHE_PUT_ERRORS.load(Ordering::Relaxed)
 }
 
-/// Number of unparsable cache entries quarantined so far in this process.
+/// Number of unparsable cache entries quarantined so far in this process,
+/// across every [`RunCache`] instance (same caveat as [`cache_put_errors`]:
+/// prefer the per-instance [`RunCache::quarantined`]).
 pub fn cache_quarantined() -> u64 {
     CACHE_QUARANTINED.load(Ordering::Relaxed)
+}
+
+/// Per-instance incident counters, shared by every clone of one
+/// [`RunCache`] (sweep workers clone the cache; their increments must
+/// land on the same counters the summary reads).
+#[derive(Debug, Default)]
+struct CacheStats {
+    put_errors: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 /// A JSON file-per-run cache.
@@ -52,22 +70,37 @@ pub fn cache_quarantined() -> u64 {
 pub struct RunCache {
     dir: PathBuf,
     enabled: bool,
+    stats: Arc<CacheStats>,
 }
 
 impl RunCache {
     /// Cache rooted at `dir` (created on first write).
     pub fn new(dir: impl AsRef<Path>) -> Self {
-        RunCache { dir: dir.as_ref().to_path_buf(), enabled: true }
+        RunCache {
+            dir: dir.as_ref().to_path_buf(),
+            enabled: true,
+            stats: Arc::new(CacheStats::default()),
+        }
     }
 
     /// A disabled cache (always recompute).
     pub fn disabled() -> Self {
-        RunCache { dir: PathBuf::new(), enabled: false }
+        RunCache { dir: PathBuf::new(), enabled: false, stats: Arc::new(CacheStats::default()) }
     }
 
     /// Default location: `results/cache` under the current directory.
     pub fn default_location() -> Self {
         RunCache::new("results/cache")
+    }
+
+    /// Cache writes that failed on this instance (and its clones).
+    pub fn put_errors(&self) -> u64 {
+        self.stats.put_errors.load(Ordering::Relaxed)
+    }
+
+    /// Entries this instance (and its clones) quarantined as unparsable.
+    pub fn quarantined(&self) -> u64 {
+        self.stats.quarantined.load(Ordering::Relaxed)
     }
 
     fn path_for(&self, cfg: &ScenarioConfig, seed: u64) -> PathBuf {
@@ -88,6 +121,7 @@ impl RunCache {
             Err(e) => {
                 let quarantine = path.with_extension("quarantine");
                 let moved = std::fs::rename(&path, &quarantine).is_ok();
+                self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
                 CACHE_QUARANTINED.fetch_add(1, Ordering::Relaxed);
                 eprintln!(
                     "warning: quarantined unparsable cache entry {} ({}){}",
@@ -109,6 +143,7 @@ impl RunCache {
         let write = std::fs::create_dir_all(&self.dir)
             .and_then(|_| std::fs::write(self.path_for(cfg, seed), result.to_json_pretty()));
         if write.is_err() {
+            self.stats.put_errors.fetch_add(1, Ordering::Relaxed);
             CACHE_PUT_ERRORS.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -199,9 +234,14 @@ mod tests {
         let path = cache.path_for(&cfg, 9);
         std::fs::create_dir_all(&tmp).unwrap();
         std::fs::write(&path, "{ this is not json").unwrap();
-        let before = cache_quarantined();
+        // The instance counter belongs to this cache alone, so the exact
+        // count holds under parallel test execution (the process-wide
+        // aggregate is shared and would race).
+        assert_eq!(cache.quarantined(), 0);
         assert!(cache.get(&cfg, 9).is_none());
-        assert_eq!(cache_quarantined(), before + 1, "quarantine must be counted");
+        assert_eq!(cache.quarantined(), 1, "quarantine must be counted");
+        assert_eq!(cache.put_errors(), 0, "a quarantine is not a put error");
+        assert!(cache_quarantined() >= 1, "aggregate includes this instance");
         assert!(!path.exists(), "corrupt entry must be renamed away");
         assert!(path.with_extension("quarantine").exists(), "quarantine file must exist");
         std::fs::remove_dir_all(&tmp).ok();
@@ -216,7 +256,27 @@ mod tests {
         let cfg = quick_cfg();
         let result = cache.run(&cfg, 2); // run succeeds, put fails
         assert!(result.events > 0);
-        assert!(cache_put_errors() > 0, "failed put must be counted");
+        assert_eq!(cache.put_errors(), 1, "failed put must be counted exactly");
+        assert_eq!(cache.quarantined(), 0);
+        assert!(cache_put_errors() >= 1, "aggregate includes this instance");
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn clones_share_one_set_of_instance_counters() {
+        let tmp = std::env::temp_dir().join(format!("elephants-cache-clone-{}", std::process::id()));
+        std::fs::write(&tmp, "occupied").unwrap(); // puts will fail
+        let cache = RunCache::new(&tmp);
+        let clone = cache.clone();
+        clone.run(&quick_cfg(), 3);
+        assert_eq!(
+            cache.put_errors(),
+            1,
+            "a clone's incidents must land on the original's counters \
+             (sweep workers clone the cache; the summary reads the original)"
+        );
+        let fresh = RunCache::new(&tmp);
+        assert_eq!(fresh.put_errors(), 0, "a fresh instance starts clean");
         std::fs::remove_file(&tmp).ok();
     }
 }

@@ -241,6 +241,11 @@ pub struct RunResult {
     pub events: u64,
     /// Largest bottleneck-queue depth observed, in packets.
     pub peak_queue_pkts: u64,
+    /// Fault-plan events that actually fired before the run ended. Events
+    /// scheduled past `duration` validate but never fire, so this can be
+    /// less than the plan's length — zero for a plan living entirely in
+    /// the post-run tail.
+    pub fault_events_applied: u64,
     /// Path of the flight record written for this run, if it recorded.
     pub record_path: Option<String>,
 }
@@ -256,6 +261,7 @@ impl_json_struct!(RunResult {
     flows,
     events,
     peak_queue_pkts,
+    fault_events_applied,
     record_path,
 });
 
@@ -580,6 +586,7 @@ fn run_one(
         flows: plan.total(),
         events: summary.events_processed,
         peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
+        fault_events_applied: summary.bottleneck.fault_events_applied,
         record_path,
     };
     Ok((result, check_report))
@@ -916,6 +923,58 @@ mod tests {
         let cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
         assert_eq!(Runner::new(&cfg).check, CheckMode::Audit);
         set_default_check_mode(before);
+    }
+
+    #[test]
+    fn unwritable_record_dir_surfaces_io_error_not_panic() {
+        let cfg = quick_cfg(CcaKind::Reno, CcaKind::Reno, AqmKind::Fifo, 1.0, 100_000_000);
+        // A regular file where the output directory should go: create_dir_all
+        // fails with NotADirectory for every caller, root included (the
+        // permission-bit approach is a no-op when tests run as root).
+        let blocker =
+            std::env::temp_dir().join(format!("elephants-io-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").unwrap();
+        let err = Runner::new(&cfg)
+            .seed(1)
+            .recorder(Recording::flows_only().out_dir(blocker.join("records")).svg(true))
+            .run()
+            .expect_err("writing into a non-directory must fail");
+        assert_eq!(err.kind, RunErrorKind::Io, "got {err}");
+        assert!(err.is_retryable(), "Io failures are classified retryable");
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
+    fn fault_plan_entirely_past_duration_applies_zero_events() {
+        use elephants_netsim::{FaultAction, FaultPlan};
+        let mut cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        let after = cfg.duration + SimDuration::from_secs(1);
+        cfg.faults = FaultPlan::none()
+            .with(after, FaultAction::LinkDown)
+            .with(after + SimDuration::from_millis(100), FaultAction::LinkUp);
+        assert!(cfg.validate().is_ok(), "post-duration events are valid config");
+        let baseline = {
+            let mut c = cfg.clone();
+            c.faults = FaultPlan::none();
+            run_seeded(&c, 4)
+        };
+        let r = run_seeded(&cfg, 4);
+        assert_eq!(r.fault_events_applied, 0, "no event inside the run may fire");
+        assert_eq!(r.down_drops, 0);
+        // A plan that never fires must not perturb the run at all.
+        assert_eq!(r.metrics().to_json_string(), baseline.metrics().to_json_string());
+    }
+
+    #[test]
+    fn in_run_fault_plan_reports_applied_events() {
+        use elephants_netsim::{FaultAction, FaultPlan};
+        let mut cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
+        let mid = SimDuration::from_millis(500);
+        cfg.faults = FaultPlan::none()
+            .with(mid, FaultAction::LinkDown)
+            .with(mid + SimDuration::from_millis(200), FaultAction::LinkUp);
+        let r = run_seeded(&cfg, 4);
+        assert_eq!(r.fault_events_applied, 2, "both in-run events must fire");
     }
 
     #[test]

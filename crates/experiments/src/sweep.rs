@@ -10,12 +10,15 @@
 //! [`try_sweep_with_progress`]) never abort the grid: a panicking cell is
 //! isolated by [`crate::par::par_try_map`], a runaway cell is stopped by the
 //! runner's event-budget/wall-clock watchdogs, and each failure is recorded
-//! as a [`FailedRun`] in the [`SweepOutput`]. Wall-clock failures — the only
-//! nondeterministic class — get a single bounded retry before being
-//! reported. The legacy [`sweep`]/[`sweep_with_progress`] wrappers keep the
+//! as a [`FailedRun`] in the [`SweepOutput`]. Every failure whose
+//! [`RunError::is_retryable`] holds — the environment-dependent classes:
+//! wall-clock overruns (machine load) and Io (filesystem) — gets a single
+//! bounded retry before being reported; deterministic classes (panic,
+//! event budget, invalid config) would fail identically and are not
+//! retried. The legacy [`sweep`]/[`sweep_with_progress`] wrappers keep the
 //! all-or-nothing contract the figure binaries want.
 
-use crate::cache::{cache_put_errors, cache_quarantined, RunCache};
+use crate::cache::RunCache;
 use crate::par::par_try_map_with_workers;
 use crate::runner::{average_runs, AveragedResult, RunError, RunResult, DEFAULT_WALL_LIMIT};
 use crate::scenario::ScenarioConfig;
@@ -43,11 +46,15 @@ pub struct SweepOutput {
     pub results: Vec<AveragedResult>,
     /// Every failed `(config, seed)` cell, in work order.
     pub failed: Vec<FailedRun>,
-    /// Retries attempted for watchdog-class (wall-clock) failures.
+    /// Retries attempted for retryable-class failures (wall-clock, Io).
     pub retried: u64,
-    /// Cache write failures observed process-wide by the end of the sweep.
+    /// Cache write failures observed by *this sweep's* cache instance
+    /// (zero when the sweep ran without a cache, e.g. in the generic test
+    /// seam). Process-wide aggregates remain available via
+    /// [`crate::cache::cache_put_errors`].
     pub cache_put_errors: u64,
-    /// Unparsable cache entries quarantined process-wide by the end.
+    /// Unparsable cache entries quarantined by this sweep's cache instance
+    /// (same scoping as `cache_put_errors`).
     pub cache_quarantined: u64,
 }
 
@@ -113,10 +120,11 @@ where
             })
             .collect();
 
-    // Single bounded retry for watchdog-class failures: wall-clock
-    // overruns depend on machine load, so one more attempt is cheap and
-    // often enough. Deterministic failures (panic, event budget, invalid
-    // config) would fail identically and are not retried.
+    // Single bounded retry for every retryable failure class: wall-clock
+    // overruns depend on machine load and Io on the filesystem, so one
+    // more attempt is cheap and often enough. Deterministic failures
+    // (panic, event budget, invalid config) would fail identically and
+    // are not retried.
     let retry_idx: Vec<usize> = outcomes
         .iter()
         .enumerate()
@@ -162,8 +170,10 @@ where
         results,
         failed,
         retried,
-        cache_put_errors: cache_put_errors(),
-        cache_quarantined: cache_quarantined(),
+        // The generic engine has no cache; the cached wrappers fill these
+        // from their instance's counters after the sweep finishes.
+        cache_put_errors: 0,
+        cache_quarantined: 0,
     }
 }
 
@@ -184,13 +194,19 @@ pub fn try_sweep_with_workers(
     cache: &RunCache,
     workers: usize,
 ) -> SweepOutput {
-    try_sweep_impl(
+    let mut out = try_sweep_impl(
         configs,
         repeats,
         workers,
         |cfg, seed| cache.run_checked(cfg, seed, DEFAULT_WALL_LIMIT),
         None,
-    )
+    );
+    // Instance counters, not the process-wide aggregates: a concurrent
+    // sweep (or parallel test) must not leak its incidents into this
+    // sweep's summary.
+    out.cache_put_errors = cache.put_errors();
+    out.cache_quarantined = cache.quarantined();
+    out
 }
 
 /// Progress-reporting fault-tolerant sweep: calls `progress(done, total)`
@@ -201,13 +217,16 @@ pub fn try_sweep_with_progress(
     cache: &RunCache,
     progress: impl Fn(usize, usize) + Sync,
 ) -> SweepOutput {
-    try_sweep_impl(
+    let mut out = try_sweep_impl(
         configs,
         repeats,
         0,
         |cfg, seed| cache.run_checked(cfg, seed, DEFAULT_WALL_LIMIT),
         Some(&progress),
-    )
+    );
+    out.cache_put_errors = cache.put_errors();
+    out.cache_quarantined = cache.quarantined();
+    out
 }
 
 /// Run every config for `repeats` seeds, in parallel, through the cache.
@@ -368,6 +387,73 @@ mod tests {
         assert!(out.failed.is_empty(), "retry must clear the transient failure");
         assert_eq!(out.results.len(), 1);
         assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn transient_io_failures_get_one_retry() {
+        let opts = RunOptions::quick();
+        let configs = vec![ScenarioConfig::new(
+            CcaKind::Reno,
+            CcaKind::Reno,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &opts,
+        )];
+        let attempts = AtomicU64::new(0);
+        let out = try_sweep_impl(
+            &configs,
+            1,
+            0,
+            |cfg, seed| {
+                if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                    // e.g. a record write racing a disk-full blip.
+                    Err(RunError {
+                        kind: RunErrorKind::Io,
+                        detail: "simulated transient write failure".to_string(),
+                    })
+                } else {
+                    Runner::new(cfg).seed(seed).run().map(crate::runner::RunOutcome::into_first)
+                }
+            },
+            None,
+        );
+        assert_eq!(out.retried, 1, "Io is retryable and must be retried");
+        assert!(out.failed.is_empty(), "retry must clear the transient Io failure");
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(attempts.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn persistent_io_failure_is_recorded_after_its_single_retry() {
+        let opts = RunOptions::quick();
+        let configs = vec![ScenarioConfig::new(
+            CcaKind::Reno,
+            CcaKind::Reno,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &opts,
+        )];
+        let attempts = AtomicU64::new(0);
+        let out = try_sweep_impl(
+            &configs,
+            1,
+            0,
+            |_cfg, _seed| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                Err(RunError {
+                    kind: RunErrorKind::Io,
+                    detail: "simulated persistent write failure".to_string(),
+                })
+            },
+            None,
+        );
+        assert_eq!(out.retried, 1, "one bounded retry, then give up");
+        assert_eq!(attempts.load(Ordering::Relaxed), 2, "exactly two attempts total");
+        assert_eq!(out.failed.len(), 1, "persistent failure becomes a FailedRun");
+        assert_eq!(out.failed[0].error.kind, RunErrorKind::Io);
+        assert!(out.results.is_empty());
     }
 
     #[test]

@@ -142,6 +142,28 @@ impl CheckReport {
     }
 }
 
+/// Name of the deliberately-injected mutation-test violation (see
+/// [`sabotage_threshold`]). The chaos harness's mutation test greps for it.
+pub const SABOTAGE_INVARIANT: &str = "sabotage_conservation";
+
+/// Environment variable enabling the mutation-test sabotage hook.
+pub const SABOTAGE_ENV: &str = "ELEPHANTS_CHECK_SABOTAGE";
+
+/// Mutation-test hook: when `ELEPHANTS_CHECK_SABOTAGE` is set to a packet
+/// count `N`, every checker built afterwards reports a fake
+/// [`SABOTAGE_INVARIANT`] violation at finalize whenever the run delivered
+/// at least `N` packets to host endpoints.
+///
+/// This exists for exactly one purpose: proving that the chaos harness's
+/// oracle stack *detects* invariant violations and that its shrinker
+/// minimizes the triggering case deterministically (the failure depends
+/// monotonically on run size, so shrinking has real work to do). The hook
+/// is inert unless the variable is set — production runs and the ordinary
+/// test suite never pay more than one env lookup per checker construction.
+fn sabotage_threshold() -> Option<u64> {
+    std::env::var(SABOTAGE_ENV).ok()?.parse().ok()
+}
+
 /// The runtime checker the simulator drives.
 ///
 /// Owns the conservation counters and the accumulating report. Installed
@@ -156,6 +178,9 @@ pub struct Checker {
     injected: u64,
     /// Packets delivered to a host endpoint.
     delivered: u64,
+    /// Mutation-test hook: deliver-count threshold past which a fake
+    /// violation is reported (see [`sabotage_threshold`]; `None` always).
+    sabotage: Option<u64>,
     report: CheckReport,
 }
 
@@ -168,8 +193,18 @@ impl Checker {
             last_event_at: SimTime::ZERO,
             injected: 0,
             delivered: 0,
+            sabotage: sabotage_threshold(),
             report: CheckReport { mode, ..CheckReport::default() },
         }
+    }
+
+    /// Test-only constructor arming the sabotage hook directly, so the
+    /// unit test below needs no process-global environment mutation (the
+    /// env-gated path is exercised end-to-end by the chaos crate's
+    /// mutation test, which owns its whole test process).
+    #[cfg(test)]
+    fn sabotaged(mode: CheckMode, threshold: u64) -> Self {
+        Checker { sabotage: Some(threshold), ..Checker::new(mode) }
     }
 
     /// The mode this checker runs in.
@@ -278,6 +313,24 @@ impl Checker {
         event_seq: u64,
         t: SimTime,
     ) {
+        if let Some(n) = self.sabotage {
+            if self.delivered >= n {
+                let delivered = self.delivered;
+                self.fail(
+                    CheckFailure::new(
+                        SABOTAGE_INVARIANT,
+                        format!(
+                            "mutation-test sabotage: delivered {delivered} >= \
+                             threshold {n} ({SABOTAGE_ENV} is set)"
+                        ),
+                    ),
+                    None,
+                    None,
+                    event_seq,
+                    t,
+                );
+            }
+        }
         let created = self.injected + duplicated;
         let accounted = self.delivered + dropped + resident + in_flight;
         if created != accounted {
@@ -380,6 +433,42 @@ mod tests {
         ck.check_packet_conservation(0, 2, 2, 1, 101, SimTime::ZERO);
         assert_eq!(ck.report().violations_total, 1);
         assert_eq!(ck.report().violations[0].invariant, "packet_conservation");
+    }
+
+    #[test]
+    fn sabotage_hook_fires_only_at_or_past_the_threshold() {
+        let mut ck = Checker::sabotaged(CheckMode::Audit, 5);
+        for _ in 0..5 {
+            ck.note_injected();
+        }
+        for _ in 0..4 {
+            ck.note_delivered();
+        }
+        // 5 injected = 4 delivered + 1 in flight; below threshold: clean.
+        ck.check_packet_conservation(0, 0, 0, 1, 10, SimTime::ZERO);
+        assert!(ck.report().is_clean(), "{:?}", ck.report().violations);
+        ck.note_delivered();
+        ck.check_packet_conservation(0, 0, 0, 0, 11, SimTime::ZERO);
+        assert_eq!(ck.report().violations_total, 1);
+        assert_eq!(ck.report().violations[0].invariant, SABOTAGE_INVARIANT);
+    }
+
+    #[test]
+    fn unarmed_checker_ignores_the_sabotage_invariant() {
+        // The ordinary constructor in a clean environment: a perfectly
+        // balanced run past any plausible threshold stays clean.
+        let mut ck = Checker::new(CheckMode::Audit);
+        assert!(
+            ck.sabotage.is_none() || std::env::var(SABOTAGE_ENV).is_ok(),
+            "sabotage must only arm via the environment hook"
+        );
+        ck.sabotage = None;
+        for _ in 0..100 {
+            ck.note_injected();
+            ck.note_delivered();
+        }
+        ck.check_packet_conservation(0, 0, 0, 0, 1, SimTime::ZERO);
+        assert!(ck.report().is_clean());
     }
 
     #[test]

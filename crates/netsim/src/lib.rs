@@ -52,7 +52,10 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
-pub use check::{CheckFailure, CheckMode, CheckReport, Checker, Violation, MAX_STORED_VIOLATIONS};
+pub use check::{
+    CheckFailure, CheckMode, CheckReport, Checker, Violation, MAX_STORED_VIOLATIONS,
+    SABOTAGE_ENV, SABOTAGE_INVARIANT,
+};
 pub use event::{Event, EventQueue, TimerKind};
 pub use fault::{DuplicateModel, FaultAction, FaultEvent, FaultPlan, LossModel, ReorderModel};
 pub use link::{Link, LinkId, LinkSpec, LinkStats};

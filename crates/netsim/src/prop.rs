@@ -11,11 +11,40 @@
 //!
 //! There is no shrinking — cases are small by construction (generators
 //! draw bounded sizes), and the deterministic seed makes any failure
-//! replayable and debuggable as-is.
+//! replayable and debuggable as-is. (Whole-scenario fuzzing with
+//! shrinking lives in the `elephants-chaos` crate, which minimizes at
+//! the `ScenarioConfig` level instead.)
 //!
 //! Properties return `Result<(), String>`; the [`prop_check!`],
 //! [`prop_check_eq!`] and [`prop_check_ne!`] macros early-return a
 //! formatted `Err` the harness attaches to the panic message.
+//!
+//! # Soaking and replaying
+//!
+//! Two environment variables tune the harness without a recompile:
+//!
+//! * `ELEPHANTS_PROP_CASES=N` overrides every property's case count
+//!   with the absolute count `N`. Nightly / manual soaks run the suites
+//!   at 10–100× depth:
+//!
+//!   ```text
+//!   ELEPHANTS_PROP_CASES=25600 cargo test -q -p elephants-netsim
+//!   ```
+//!
+//!   The per-case seeds are derived from the test name and the case
+//!   index alone, so a soak explores a strict superset of the default
+//!   run's cases and any failure it finds replays identically at the
+//!   default count — via the seed, not the count.
+//!
+//! * `ELEPHANTS_PROP_SEED=<seed>` runs exactly one case: the replay
+//!   path. A failing property panics with the reproducing seed; copy it
+//!   from the panic message and re-run the one test:
+//!
+//!   ```text
+//!   ELEPHANTS_PROP_SEED=1234567 cargo test -p <crate> <test_name>
+//!   ```
+//!
+//!   The replay seed takes precedence over `ELEPHANTS_PROP_CASES`.
 
 use crate::rng::{SeedableRng, SmallRng};
 
@@ -32,11 +61,29 @@ fn name_hash(name: &str) -> u64 {
     h
 }
 
+/// Absolute case-count override applied by [`run_cases`], for soaking
+/// the property suites at 10–100× depth without a recompile.
+pub const PROP_CASES_ENV: &str = "ELEPHANTS_PROP_CASES";
+
+/// The case count [`run_cases`] will actually run for a requested count:
+/// the [`PROP_CASES_ENV`] override when set (and parsable), else the
+/// requested count unchanged.
+pub fn effective_cases(requested: u32) -> u32 {
+    match std::env::var(PROP_CASES_ENV) {
+        Ok(txt) => txt.parse().unwrap_or_else(|_| {
+            panic!("{PROP_CASES_ENV} must be a u32 case count, got '{txt}'")
+        }),
+        Err(_) => requested,
+    }
+}
+
 /// Run `property` for `cases` deterministic seeds, panicking with the
 /// reproducing seed on the first failure.
 ///
 /// If the `ELEPHANTS_PROP_SEED` environment variable is set, only that
-/// seed runs — the replay path for a reported failure.
+/// seed runs — the replay path for a reported failure. Otherwise, if
+/// `ELEPHANTS_PROP_CASES` is set it replaces `cases` as an absolute
+/// count (see the module docs' soaking section).
 pub fn run_cases<F>(name: &str, cases: u32, mut property: F)
 where
     F: FnMut(&mut SmallRng) -> Result<(), String>,
@@ -51,6 +98,7 @@ where
         }
         return;
     }
+    let cases = effective_cases(cases);
     let base = name_hash(name);
     for case in 0..cases {
         let seed = base.wrapping_add(case as u64);
@@ -165,6 +213,17 @@ mod tests {
         });
         // `count` moved into the closure by reference; the harness ran it.
         assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_the_requested_count() {
+        // The suite never runs with the soak override exported, so the
+        // pass-through is the observable behaviour here; the override
+        // branch is pure string parsing exercised by soak runs.
+        if std::env::var(PROP_CASES_ENV).is_err() {
+            assert_eq!(effective_cases(256), 256);
+            assert_eq!(effective_cases(7), 7);
+        }
     }
 
     #[test]

@@ -281,6 +281,9 @@ pub struct BottleneckReport {
     pub duplicated: u64,
     /// Largest bottleneck-queue depth observed, in packets.
     pub peak_qlen_pkts: u64,
+    /// Fault-plan events that actually fired before the run ended
+    /// (events scheduled past `duration` never fire and are not counted).
+    pub fault_events_applied: u64,
 }
 
 /// Everything measured in one simulation run.
@@ -848,6 +851,7 @@ impl Simulator {
                     reordered: link.stats().reordered,
                     duplicated: link.stats().duplicated,
                     peak_qlen_pkts: link.stats().peak_qlen_pkts,
+                    fault_events_applied: link.stats().fault_events_applied,
                 }
             }
             None => BottleneckReport::default(),

@@ -27,6 +27,13 @@
 #                                run and fails the lane; one extra cell runs
 #                                with --coalesce so the GRO-style receive
 #                                path is strict-checked too
+#   scripts/ci.sh --fuzz-smoke   also run the chaos fuzzer: ~25 fixed-seed
+#                                generated scenarios through the strict
+#                                four-oracle judge (invariants, graceful
+#                                termination, determinism, artifact
+#                                round-trip) plus a full replay of the
+#                                committed regression corpus; any finding
+#                                or corpus regression fails the lane
 #   scripts/ci.sh --bench-gate   also run the tracked engine benchmarks
 #                                against a scratch copy of the committed
 #                                BENCH_netsim.json and fail when events/sec
@@ -41,6 +48,7 @@ bench_smoke=0
 fault_smoke=0
 record_smoke=0
 check_smoke=0
+fuzz_smoke=0
 bench_gate=0
 for arg in "$@"; do
   case "$arg" in
@@ -48,6 +56,7 @@ for arg in "$@"; do
     --fault-smoke) fault_smoke=1 ;;
     --record-smoke) record_smoke=1 ;;
     --check-smoke) check_smoke=1 ;;
+    --fuzz-smoke) fuzz_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -104,6 +113,25 @@ if [[ "$record_smoke" -eq 1 ]]; then
     --record flows,queue,events --out "$rec_dir" 2>&1 | tee /dev/stderr)"
   if ! grep -q 'record       :' <<<"$out"; then
     echo "record smoke: probe did not verify a flight record" >&2
+    exit 1
+  fi
+fi
+
+if [[ "$fuzz_smoke" -eq 1 ]]; then
+  # A bounded fixed-seed chaos campaign plus the committed-corpus replay.
+  # `--no-commit` keeps CI from dirtying the working tree: a finding here
+  # fails the lane and is reproduced locally (same seed, same case) where
+  # the shrunk fixture can be committed alongside the fix. The greps pin
+  # the machine-readable summary lines, so a silently-vacuous run (zero
+  # cases, missing corpus) also fails.
+  out="$(cargo run --release --offline -p elephants-chaos --bin chaos -- \
+    --cases 25 --seed 1 --no-commit 2>&1 | tee /dev/stderr)"
+  if ! grep -Eq 'chaos-summary: cases=25 passed=[0-9]+ skipped=[0-9]+ failed=0' <<<"$out"; then
+    echo "fuzz smoke: campaign reported findings (or ran no cases)" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'chaos-corpus: fixtures=[1-9][0-9]* failures=0' <<<"$out"; then
+    echo "fuzz smoke: corpus replay failed or corpus is empty" >&2
     exit 1
   fi
 fi

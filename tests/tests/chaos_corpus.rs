@@ -1,0 +1,101 @@
+//! Chaos corpus replay: once-found bugs stay fixed.
+//!
+//! PR 8 adds the deterministic chaos harness (`crates/chaos`). Every
+//! failure it ever finds is shrunk and committed as a fixture under
+//! `tests/fixtures/chaos/`; this test re-judges the whole corpus through
+//! the four-oracle stack on every `cargo test`, so a regression on any
+//! previously-found minimal repro fails CI immediately.
+//!
+//! The corpus is seeded with a few **curated** generated cases (fault
+//! plans, loss models, coalescing) so the replay path is exercised even
+//! while the fuzzer has found no real bugs. Regenerate those after an
+//! intentional generator change with:
+//!
+//! ```sh
+//! UPDATE_CHAOS_SEEDS=1 cargo test -q -p integration-tests --test chaos_corpus
+//! ```
+//!
+//! (then delete any stale `chaos-*.json` the old generator produced, and
+//! re-run without the env var to confirm everything judges clean).
+
+use elephants::chaos::{
+    case_cost, default_corpus_dir, fixture_stem, generate_case, load_corpus, replay_all,
+    replay_failures, save_fixture, CaseOutcome, ChaosFixture,
+};
+use elephants::experiments::ScenarioConfig;
+
+/// Debug-mode budget per curated case: the judge runs every config twice
+/// (determinism oracle), so keep each run to a few megabytes of traffic.
+const CURATED_COST_CAP: u64 = 4_000_000;
+
+fn first_seed(tag: &str, pred: impl Fn(&ScenarioConfig) -> bool) -> (u64, ScenarioConfig) {
+    (0..10_000u64)
+        .map(|s| (s, generate_case(s)))
+        .find(|(_, c)| case_cost(c) < CURATED_COST_CAP && pred(c))
+        .unwrap_or_else(|| panic!("no cheap generated case matching `{tag}` in 10k seeds"))
+}
+
+/// The curated corner cases: one faulted, one lossy, one coalescing run,
+/// each found by a deterministic scan over the generator's seed space.
+fn curated_fixtures() -> Vec<ChaosFixture> {
+    let picks = [
+        ("faulted", first_seed("faulted", |c| !c.faults.is_empty())),
+        ("lossy", first_seed("lossy", |c| c.loss != elephants::netsim::LossModel::None)),
+        ("coalescing", first_seed("coalescing", |c| c.coalesce)),
+    ];
+    picks
+        .into_iter()
+        .map(|(tag, (seed, config))| ChaosFixture {
+            found_by_seed: seed,
+            oracle: "curated".to_string(),
+            detail: format!("curated seed corpus: cheap {tag} case"),
+            config,
+        })
+        .collect()
+}
+
+#[test]
+fn curated_seed_fixtures_are_committed_and_current() {
+    let dir = default_corpus_dir();
+    for fixture in curated_fixtures() {
+        let path = dir.join(format!("{}.json", fixture_stem(&fixture.config)));
+        if std::env::var("UPDATE_CHAOS_SEEDS").is_ok() {
+            save_fixture(&dir, &fixture).expect("write curated fixture");
+            eprintln!("updated {}", path.display());
+            continue;
+        }
+        assert!(
+            path.is_file(),
+            "curated fixture {} missing — regenerate with UPDATE_CHAOS_SEEDS=1",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn committed_corpus_replays_clean() {
+    let dir = default_corpus_dir();
+    let corpus = load_corpus(&dir).expect("corpus must parse");
+    assert!(
+        !corpus.is_empty(),
+        "committed corpus must not be empty (curated seeds live in {})",
+        dir.display()
+    );
+    let results = replay_all(&dir).expect("corpus must parse");
+    let failures = replay_failures(&results);
+    assert!(
+        failures.is_empty(),
+        "corpus regressions: {:?}",
+        failures
+            .iter()
+            .map(|f| (f.path.display().to_string(), format!("{:?}", f.outcome)))
+            .collect::<Vec<_>>()
+    );
+    // Skips are tolerated (wall-clock watchdog under load) but should be
+    // loud in the log: a corpus that always skips checks nothing.
+    for r in &results {
+        if let CaseOutcome::Skip { reason } = &r.outcome {
+            eprintln!("chaos fixture {} skipped: {reason}", r.path.display());
+        }
+    }
+}
