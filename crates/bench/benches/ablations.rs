@@ -20,7 +20,7 @@ fn run_cubic(hystart: bool) -> u64 {
     let bw = Bandwidth::from_mbps(100);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = bdp_bytes(bw, topo.rtt());
+    let bdp = bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(bdp / 2)));
     let mut sim = Simulator::new(
         topo,
@@ -43,7 +43,7 @@ fn run_bbr2(loss_thresh: f64) -> u64 {
     let bw = Bandwidth::from_mbps(100);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = bdp_bytes(bw, topo.rtt());
+    let bdp = bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(bdp / 2)));
     let mut sim = Simulator::new(
         topo,

@@ -78,9 +78,10 @@ fn bench_sim_throughput(c: &mut Criterion) {
 }
 
 /// The tracked scenarios behind `BENCH_netsim.json`: the paper's 25 Gbps
-/// FIFO cell at quick scale (the regression gate's subject) and the same
+/// FIFO cell at quick scale (the regression gate's subject), the same
 /// cell at the standard preset — Table 2's 500-flow workload at
-/// paper-faithful scale. See `elephants_bench::report`.
+/// paper-faithful scale — and the 3-hop parking lot exercising the
+/// multi-bottleneck path. See `elephants_bench::report`.
 fn bench_regression(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(5);
@@ -90,6 +91,10 @@ fn bench_regression(c: &mut Criterion) {
     });
     g.bench_function("25gbps_fifo_table2", |b| {
         let cfg = elephants_bench::table2_scenario();
+        b.iter(|| Runner::new(&cfg).seed(1).run());
+    });
+    g.bench_function("1gbps_parkinglot3_quick", |b| {
+        let cfg = elephants_bench::parkinglot_scenario();
         b.iter(|| Runner::new(&cfg).seed(1).run());
     });
     g.finish();

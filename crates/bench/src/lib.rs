@@ -8,7 +8,7 @@ pub mod report;
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
 use elephants_experiments::{DurationPreset, RunOptions, ScenarioConfig};
-use elephants_netsim::SimDuration;
+use elephants_netsim::{SimDuration, TopologySpec};
 
 /// Bench-scale run options: seconds-long simulations.
 pub fn bench_opts() -> RunOptions {
@@ -59,4 +59,22 @@ pub fn table2_scenario() -> ScenarioConfig {
         25_000_000_000,
         &RunOptions::standard(),
     )
+}
+
+/// The multi-bottleneck tracked scenario: a 3-hop parking lot at 1 Gbps
+/// quick (four flow groups, 40 flows, three shaped queues plus per-link
+/// accounting on the hot path). Tracks what the topology subsystem costs
+/// when it is actually exercised — the dumbbell entries above pin that the
+/// default path costs nothing.
+pub fn parkinglot_scenario() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(
+        CcaKind::Cubic,
+        CcaKind::Cubic,
+        AqmKind::Fifo,
+        2.0,
+        1_000_000_000,
+        &RunOptions::quick(),
+    );
+    cfg.topology = TopologySpec::ParkingLot { hops: 3 };
+    cfg
 }

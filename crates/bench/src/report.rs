@@ -20,7 +20,7 @@
 //! measurement (set `BENCH_GATE=1`; tune with `BENCH_GATE_THRESHOLD`).
 
 use crate::harness::{BenchResult, Criterion};
-use crate::{regression_scenario, table2_scenario};
+use crate::{parkinglot_scenario, regression_scenario, table2_scenario};
 use elephants_experiments::{Runner, ScenarioConfig};
 use elephants_json::{FromJson, JsonError, ToJson, Value};
 use std::path::PathBuf;
@@ -30,6 +30,9 @@ pub const REGRESSION_BENCH_ID: &str = "engine/25gbps_fifo_quick";
 
 /// Benchmark id of the paper-faithful Table-2 500-flow scenario.
 pub const TABLE2_BENCH_ID: &str = "engine/25gbps_fifo_table2";
+
+/// Benchmark id of the multi-bottleneck 3-hop parking-lot scenario.
+pub const PARKINGLOT_BENCH_ID: &str = "engine/1gbps_parkinglot3_quick";
 
 /// Default regression-gate threshold: fail when events/sec drops more than
 /// this fraction below the previous committed entry.
@@ -232,9 +235,12 @@ pub fn emit_engine_report(c: &Criterion) {
     let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
     let table2_label =
         std::env::var("BENCH_LABEL_TABLE2").unwrap_or_else(|_| format!("{label}-table2"));
-    let tracked: [(&str, String, ScenarioConfig); 2] = [
+    let parkinglot_label = std::env::var("BENCH_LABEL_PARKINGLOT")
+        .unwrap_or_else(|_| format!("{label}-parkinglot"));
+    let tracked: [(&str, String, ScenarioConfig); 3] = [
         (REGRESSION_BENCH_ID, label, regression_scenario()),
         (TABLE2_BENCH_ID, table2_label, table2_scenario()),
+        (PARKINGLOT_BENCH_ID, parkinglot_label, parkinglot_scenario()),
     ];
     let measured: Vec<BenchEntry> = tracked
         .into_iter()
@@ -286,7 +292,13 @@ pub fn gate_from_env(c: &Criterion) -> Result<(), String> {
     let label = std::env::var("BENCH_LABEL").unwrap_or_else(|_| "current".to_string());
     let table2_label =
         std::env::var("BENCH_LABEL_TABLE2").unwrap_or_else(|_| format!("{label}-table2"));
-    for (id, label) in [(REGRESSION_BENCH_ID, label), (TABLE2_BENCH_ID, table2_label)] {
+    let parkinglot_label = std::env::var("BENCH_LABEL_PARKINGLOT")
+        .unwrap_or_else(|_| format!("{label}-parkinglot"));
+    for (id, label) in [
+        (REGRESSION_BENCH_ID, label),
+        (TABLE2_BENCH_ID, table2_label),
+        (PARKINGLOT_BENCH_ID, parkinglot_label),
+    ] {
         if !c.results().iter().any(|r| r.id == id) {
             continue;
         }

@@ -3,12 +3,20 @@
 //! ```text
 //! chaos [--cases N] [--seed S] [--corpus DIR] [--no-commit]
 //!       [--no-shrink] [--replay-only] [--verbose]
+//!       [--loss MODEL] [--flap START,DUR] [--coalesce]
+//!       [--topology SPEC] [--fault-link N]
 //! ```
 //!
 //! Fuzzes `N` generated scenarios (seeds `S .. S+N`) through the
 //! four-oracle judge, shrinks any failure, and (unless `--no-commit`)
 //! writes each minimal repro into the corpus; then replays the whole
 //! committed corpus. Fully deterministic in `--seed`.
+//!
+//! The scenario-shaping flags are the shared set from
+//! `elephants_experiments::cli` and act as *pins*: each is forced onto
+//! every generated case (a case a pin cannot validly apply to counts as
+//! a skip). `--record`/`--check`/`--sample-interval` are rejected — the
+//! judge always runs the strict checker and owns its own artifacts.
 //!
 //! Exit codes: `0` — all oracles clean and corpus green; `1` — findings
 //! or corpus regressions; `2` — usage error.
@@ -17,6 +25,7 @@ use elephants_chaos::{
     default_corpus_dir, fuzz, replay_all, replay_failures, save_fixture, CaseOutcome,
     FuzzOptions,
 };
+use elephants_experiments::SharedFlags;
 use elephants_json::ToJson;
 use std::path::PathBuf;
 
@@ -36,8 +45,12 @@ fn parse_args() -> Result<Args, String> {
         replay_only: false,
         verbose: false,
     };
+    let mut shared = SharedFlags::default();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        if shared.try_parse(&arg, &mut it)? {
+            continue;
+        }
         let mut value = |flag: &str| {
             it.next().ok_or_else(|| format!("{flag} requires a value"))
         };
@@ -64,13 +77,29 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument: {other}")),
         }
     }
+    if shared.record.is_some() || shared.check.is_some() || shared.sample_interval.is_some() {
+        return Err(
+            "the chaos judge always runs the strict checker and owns its artifacts; \
+             drop --record/--check/--sample-interval"
+                .to_string(),
+        );
+    }
+    let pins_given = shared.loss.is_some()
+        || shared.faults.is_some()
+        || shared.coalesce
+        || shared.topology.is_some()
+        || shared.fault_link.is_some();
+    if pins_given {
+        args.opts.overrides = Some(shared);
+    }
     Ok(args)
 }
 
 fn print_usage() {
     eprintln!(
         "usage: chaos [--cases N] [--seed S] [--corpus DIR] [--no-commit] \
-         [--no-shrink] [--replay-only] [--verbose]"
+         [--no-shrink] [--replay-only] [--verbose] [--loss MODEL] \
+         [--flap START,DUR] [--coalesce] [--topology SPEC] [--fault-link N]"
     );
 }
 

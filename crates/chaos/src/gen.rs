@@ -26,6 +26,7 @@ use elephants_cca::CcaKind;
 use elephants_experiments::{RunOptions, ScenarioConfig};
 use elephants_netsim::{
     Bandwidth, FaultAction, FaultPlan, LossModel, RngExt, SeedableRng, SimDuration, SmallRng,
+    TopologySpec,
 };
 
 /// Distinguishes the generator's RNG stream from plain `seed_from_u64`
@@ -166,6 +167,22 @@ pub fn generate_case(case_seed: u64) -> ScenarioConfig {
     }
     cfg.max_events = CASE_EVENT_BUDGET;
 
+    // Topology draws come LAST in the RNG stream: every pre-topology seed
+    // consumes the same prefix it always did, so replays of dumbbell-era
+    // corpus fixtures regenerate byte-identically.
+    if rng.random_bool(0.25) {
+        cfg.topology = if rng.random_bool(0.5) {
+            TopologySpec::ParkingLot { hops: rng.random_range(2..=3u32) as usize }
+        } else {
+            TopologySpec::MultiDumbbell {
+                rtts_ms: vec![choose(&mut rng, &RTT_MENU), choose(&mut rng, &RTT_MENU)],
+            }
+        };
+        // Aim the loss/fault knobs at a uniformly random bottleneck hop
+        // (always 0 on single-bottleneck shapes).
+        cfg.fault_link = rng.random_range(0..cfg.topology.n_bottlenecks() as u32);
+    }
+
     debug_assert!(cfg.validate().is_ok(), "generator must emit valid configs");
     cfg
 }
@@ -233,6 +250,7 @@ mod tests {
         let mut ccas = std::collections::BTreeSet::new();
         let mut aqms = std::collections::BTreeSet::new();
         let (mut coalesced, mut faulted, mut lossy) = (0u32, 0u32, 0u32);
+        let (mut parking, mut multi, mut off_hop) = (0u32, 0u32, 0u32);
         for seed in 0..500 {
             let cfg = generate_case(seed);
             ccas.insert(format!("{}", cfg.cca1));
@@ -240,11 +258,22 @@ mod tests {
             coalesced += cfg.coalesce as u32;
             faulted += !cfg.faults.is_empty() as u32;
             lossy += (cfg.loss != LossModel::None) as u32;
+            match &cfg.topology {
+                TopologySpec::Dumbbell => assert_eq!(cfg.fault_link, 0),
+                TopologySpec::ParkingLot { .. } => parking += 1,
+                TopologySpec::MultiDumbbell { .. } => multi += 1,
+                TopologySpec::Explicit(_) => panic!("generator never emits Explicit"),
+            }
+            assert!((cfg.fault_link as usize) < cfg.topology.n_bottlenecks());
+            off_hop += (cfg.fault_link != 0) as u32;
         }
         assert_eq!(ccas.len(), 5, "all CCAs explored: {ccas:?}");
         assert_eq!(aqms.len(), 5, "all AQMs explored: {aqms:?}");
         assert!(coalesced > 50 && coalesced < 450, "coalesce on in {coalesced}/500");
         assert!(faulted > 100, "faulted in only {faulted}/500");
         assert!(lossy > 50, "lossy in only {lossy}/500");
+        assert!(parking > 20, "parking-lot in only {parking}/500");
+        assert!(multi > 20, "multi-dumbbell in only {multi}/500");
+        assert!(off_hop > 10, "fault aimed off hop 0 in only {off_hop}/500");
     }
 }

@@ -35,7 +35,7 @@ pub use gen::{case_cost, generate_case, CASE_EVENT_BUDGET};
 pub use oracle::{judge, judge_with_wall_limit, CaseOutcome, OracleKind, CASE_WALL_LIMIT};
 pub use shrink::{fails_like, shrink, ShrinkOutcome, DEFAULT_SHRINK_EVALS};
 
-use elephants_experiments::ScenarioConfig;
+use elephants_experiments::{ScenarioConfig, SharedFlags};
 use std::time::Duration;
 
 /// Options for one fuzzing campaign.
@@ -51,6 +51,10 @@ pub struct FuzzOptions {
     pub max_shrink_evals: u32,
     /// Per-execution wall-clock watchdog.
     pub wall_limit: Duration,
+    /// Shared scenario flags pinned over every generated case (the chaos
+    /// binary's `--loss`/`--flap`/`--coalesce`/`--topology`/`--fault-link`).
+    /// A case the pins cannot validly apply to is counted as a skip.
+    pub overrides: Option<SharedFlags>,
 }
 
 impl Default for FuzzOptions {
@@ -61,6 +65,7 @@ impl Default for FuzzOptions {
             shrink: true,
             max_shrink_evals: DEFAULT_SHRINK_EVALS,
             wall_limit: CASE_WALL_LIMIT,
+            overrides: None,
         }
     }
 }
@@ -128,7 +133,18 @@ pub fn fuzz(opts: &FuzzOptions, mut on_case: impl FnMut(u64, &CaseOutcome)) -> F
     let mut report = FuzzReport::default();
     for i in 0..opts.cases {
         let seed = opts.base_seed + i as u64;
-        let cfg = generate_case(seed);
+        let mut cfg = generate_case(seed);
+        if let Some(pins) = &opts.overrides {
+            if let Err(e) = pins.apply(&mut cfg) {
+                // e.g. a pinned --fault-link outside a generated dumbbell:
+                // not a simulator failure, just not a runnable combination.
+                let outcome = CaseOutcome::Skip { reason: format!("pinned flags: {e}") };
+                on_case(seed, &outcome);
+                report.cases += 1;
+                report.skipped += 1;
+                continue;
+            }
+        }
         let outcome = judge_with_wall_limit(&cfg, opts.wall_limit);
         on_case(seed, &outcome);
         report.cases += 1;
@@ -181,6 +197,22 @@ mod tests {
             shrink_evals: 0,
         });
         assert!(report.summary_line().ends_with("failed=1"));
+    }
+
+    #[test]
+    fn unapplicable_pins_skip_instead_of_failing() {
+        // No generated topology has 6 bottleneck hops, so a pinned
+        // --fault-link 5 can never validate: every case must skip (and
+        // none must reach the simulator, keeping this debug-mode cheap).
+        let opts = FuzzOptions {
+            cases: 3,
+            overrides: Some(SharedFlags { fault_link: Some(5), ..Default::default() }),
+            ..Default::default()
+        };
+        let report = fuzz(&opts, |_, _| {});
+        assert_eq!(report.cases, 3);
+        assert_eq!(report.skipped, 3);
+        assert!(report.findings.is_empty());
     }
 
     #[test]

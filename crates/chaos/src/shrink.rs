@@ -10,8 +10,10 @@
 //! 2. shorten the run (halve `duration`, zero `warmup`),
 //! 3. remove fault events (one at a time, from the back),
 //! 4. simplify the loss model (Gilbert–Elliott → Bernoulli → None),
-//! 5. clear the boolean knobs (`coalesce`, `ecn`),
-//! 6. round sizes to paper defaults (`mss` 8900, `rtt` 62 ms,
+//! 5. simplify the topology (anything → the paper dumbbell; failing
+//!    that, re-aim `fault_link` at hop 0),
+//! 6. clear the boolean knobs (`coalesce`, `ecn`),
+//! 7. round sizes to paper defaults (`mss` 8900, `rtt` 62 ms,
 //!    `queue_bdp` 2.0, bandwidth 100 Mbps, unlimited event budget).
 //!
 //! Every pass enumerates candidates in a fixed order and the predicate is
@@ -20,7 +22,7 @@
 
 use crate::oracle::OracleKind;
 use elephants_experiments::ScenarioConfig;
-use elephants_netsim::{LossModel, SimDuration};
+use elephants_netsim::{LossModel, SimDuration, TopologySpec};
 
 /// Default cap on predicate evaluations per shrink. Each evaluation is
 /// one (sometimes two) simulation runs; the passes converge long before
@@ -139,6 +141,24 @@ impl<'a> Shrinker<'a> {
         false
     }
 
+    fn pass_topology(&mut self, cfg: &mut ScenarioConfig) -> bool {
+        let mut changed = false;
+        if cfg.topology != TopologySpec::Dumbbell {
+            let mut c = cfg.clone();
+            c.topology = TopologySpec::Dumbbell;
+            c.fault_link = 0;
+            changed |= self.try_adopt(cfg, c);
+        }
+        // The dumbbell jump may be rejected (multi-hop failure): still try
+        // pulling the fault target back to the first hop.
+        if cfg.fault_link != 0 {
+            let mut c = cfg.clone();
+            c.fault_link = 0;
+            changed |= self.try_adopt(cfg, c);
+        }
+        changed
+    }
+
     fn pass_booleans(&mut self, cfg: &mut ScenarioConfig) -> bool {
         let mut changed = false;
         for clear in [
@@ -192,6 +212,7 @@ pub fn shrink(
         changed |= shrinker.pass_duration(&mut current);
         changed |= shrinker.pass_faults(&mut current);
         changed |= shrinker.pass_loss(&mut current);
+        changed |= shrinker.pass_topology(&mut current);
         changed |= shrinker.pass_booleans(&mut current);
         changed |= shrinker.pass_round_sizes(&mut current);
         if !changed || shrinker.evals >= max_evals {
@@ -250,6 +271,8 @@ mod tests {
                 FaultAction::SetDelay(SimDuration::from_millis(31)),
             );
         cfg.max_events = 50_000_000;
+        cfg.topology = TopologySpec::ParkingLot { hops: 3 };
+        cfg.fault_link = 2;
         cfg
     }
 
@@ -269,6 +292,8 @@ mod tests {
         assert_eq!(min.queue_bdp, 2.0);
         assert_eq!(min.bw_bps, 100_000_000);
         assert_eq!(min.max_events, u64::MAX);
+        assert_eq!(min.topology, TopologySpec::Dumbbell);
+        assert_eq!(min.fault_link, 0);
         // CCA/AQM/seed are identity, not size: never touched.
         assert_eq!(min.cca1, CcaKind::BbrV2);
         assert_eq!(min.aqm, AqmKind::Pie);
@@ -288,6 +313,17 @@ mod tests {
         // Greedy halving: 3000 → 1500 accepted, 750 rejected (< 1 s), stop.
         assert_eq!(a.config.duration, SimDuration::from_millis(1500));
         assert_eq!(a.config.flow_scale, 0.25, "unrelated dimensions still shrink");
+    }
+
+    #[test]
+    fn multi_hop_failures_keep_the_topology_but_recenter_the_fault() {
+        // The failure needs a multi-bottleneck shape: the dumbbell jump is
+        // rejected but the fault target still shrinks back to hop 0.
+        let pred = |c: &ScenarioConfig| c.topology.n_bottlenecks() > 1;
+        let out = shrink(&baroque(), pred, 500);
+        assert_eq!(out.config.topology, TopologySpec::ParkingLot { hops: 3 });
+        assert_eq!(out.config.fault_link, 0);
+        assert!(out.config.validate().is_ok());
     }
 
     #[test]

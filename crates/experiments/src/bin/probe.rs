@@ -1,15 +1,18 @@
 //! Probe a single scenario cell: print its raw metrics and, with
 //! `--record`, write a flight record plus dynamics figures and verify the
-//! artifact parses back. `--coalesce` enables GRO-style receive coalescing;
-//! `--check strict` runs the runtime invariant checker.
+//! artifact parses back. The scenario-shaping flags (`--loss`, `--flap`,
+//! `--record`, `--sample-interval`, `--check`, `--coalesce`, `--topology`,
+//! `--fault-link`) are the shared set from `elephants_experiments::cli`,
+//! spelled identically across `probe`, `sweep`, the figure binaries and
+//! the chaos fuzzer.
 //!
 //! Usage:
 //! `cargo run --release -p elephants-experiments --bin probe -- \
 //!    --cca1 bbr1 --cca2 cubic --aqm fq_codel --queue 2 --bw1 100M --secs 20 \
+//!    --topology parking-lot:3 --check strict \
 //!    --record flows,queue,events --sample-interval 10 --out results`
 
 use elephants_experiments::prelude::*;
-use elephants_experiments::runner::DEFAULT_SAMPLE_INTERVAL;
 use elephants_netsim::{CheckMode, SimDuration};
 use elephants_telemetry::FlightRecord;
 
@@ -23,55 +26,55 @@ fn main() {
     let mut seed = 1u64;
     let mut scale = 1.0f64;
     let mut out_dir = "results".to_string();
-    let mut record: Option<Recording> = None;
-    let mut interval = DEFAULT_SAMPLE_INTERVAL;
-    let mut check = CheckMode::Off;
-    let mut coalesce = false;
+    let mut shared = SharedFlags::default();
+
+    let fail = |msg: String| -> ! {
+        eprintln!("probe: {msg}");
+        std::process::exit(2);
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        let mut val = || args.next().expect("flag needs a value");
+        match shared.try_parse(&a, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => fail(e),
+        }
+        let mut val = || args.next().unwrap_or_else(|| fail(format!("{a} needs a value")));
         match a.as_str() {
-            "--cca1" => cca1 = val().parse().unwrap(),
-            "--cca2" => cca2 = val().parse().unwrap(),
-            "--aqm" => aqm = val().parse().unwrap(),
-            "--queue" => queue = val().parse().unwrap(),
+            "--cca1" => cca1 = val().parse().unwrap_or_else(|e| fail(e)),
+            "--cca2" => cca2 = val().parse().unwrap_or_else(|e| fail(e)),
+            "--aqm" => aqm = val().parse().unwrap_or_else(|e| fail(e)),
+            "--queue" => queue = val().parse().unwrap_or_else(|e| fail(format!("bad --queue: {e}"))),
             "--bw1" | "--bw" => {
                 let v = val().to_ascii_uppercase();
                 bw = if let Some(x) = v.strip_suffix('G') {
-                    x.parse::<u64>().unwrap() * 1_000_000_000
+                    x.parse::<u64>().unwrap_or_else(|e| fail(format!("bad --bw: {e}"))) * 1_000_000_000
                 } else if let Some(x) = v.strip_suffix('M') {
-                    x.parse::<u64>().unwrap() * 1_000_000
+                    x.parse::<u64>().unwrap_or_else(|e| fail(format!("bad --bw: {e}"))) * 1_000_000
                 } else {
-                    v.parse().unwrap()
+                    v.parse().unwrap_or_else(|e| fail(format!("bad --bw: {e}")))
                 };
             }
-            "--secs" => secs = val().parse().unwrap(),
-            "--seed" => seed = val().parse().unwrap(),
-            "--scale" => scale = val().parse().unwrap(),
+            "--secs" => secs = val().parse().unwrap_or_else(|e| fail(format!("bad --secs: {e}"))),
+            "--seed" => seed = val().parse().unwrap_or_else(|e| fail(format!("bad --seed: {e}"))),
+            "--scale" => scale = val().parse().unwrap_or_else(|e| fail(format!("bad --scale: {e}"))),
             "--out" => out_dir = val(),
-            "--record" => record = Some(Recording::parse(&val()).unwrap()),
-            "--check" => check = val().parse().unwrap(),
-            "--coalesce" => coalesce = true,
-            "--sample-interval" => {
-                let ms: f64 = val().parse().unwrap();
-                assert!(ms > 0.0, "--sample-interval must be positive");
-                interval = SimDuration::from_secs_f64(ms / 1e3);
-            }
-            other => panic!("unknown flag {other}"),
+            other => fail(format!("unknown flag {other}")),
         }
     }
 
     let opts = RunOptions { seed, flow_scale: scale, ..RunOptions::standard() };
-    let cfg = ScenarioConfig::builder(cca1, cca2, aqm, queue, bw, &opts)
+    let mut cfg = ScenarioConfig::builder(cca1, cca2, aqm, queue, bw, &opts)
         .duration(SimDuration::from_secs(secs))
-        .coalesce(coalesce)
         .build()
-        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+        .unwrap_or_else(|e| fail(format!("invalid scenario: {e}")));
+    shared.apply(&mut cfg).unwrap_or_else(|e| fail(format!("invalid scenario: {e}")));
 
+    let check = shared.check.unwrap_or(CheckMode::Off);
     let mut runner = Runner::new(&cfg).seed(seed).check(check);
-    if let Some(rec) = record {
-        runner = runner.recorder(rec.interval(interval).out_dir(format!("{out_dir}/records")));
+    if let Some(rec) = shared.recording(&out_dir).unwrap_or_else(|e| fail(e)) {
+        runner = runner.recorder(rec);
     }
     let outcome = runner
         .run()
@@ -88,6 +91,14 @@ fn main() {
     println!("  rtos         : {}", r.rtos);
     println!("  drops        : {}", r.drops);
     println!("  events       : {}", r.events);
+    if r.links.len() > 1 {
+        for l in &r.links {
+            println!(
+                "  link{:<9}: util={:.4} drops={} down_drops={} peak_queue={} pkts",
+                l.link, l.utilization, l.drops, l.down_drops, l.peak_queue_pkts
+            );
+        }
+    }
     if let Some(line) = check_summary {
         println!("  check        : {line}");
     }

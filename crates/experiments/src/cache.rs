@@ -33,7 +33,10 @@ use std::time::Duration;
 /// serialized without it no longer parse.
 /// v5: `RunResult` gained `fault_events_applied` (PR 8) — entries
 /// serialized without it no longer parse.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+/// v6: `ScenarioConfig` gained `topology`/`fault_link` and `RunResult`
+/// gained per-bottleneck `links` (PR 9) — entries serialized without
+/// them no longer parse.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// Cache writes that failed (IO errors on create/write).
 static CACHE_PUT_ERRORS: AtomicU64 = AtomicU64::new(0);

@@ -22,11 +22,19 @@
 //! * `--coalesce` — enable GRO-style receive coalescing on every receiver
 //!   (off by default; changes cache keys, so coalesced and plain results
 //!   never mix)
+//! * `--topology SPEC` — network shape: `dumbbell` (default, the paper
+//!   testbed), `parking-lot:K` (K shaped hops, K+1 flow groups) or
+//!   `multi-dumbbell:R1,R2[,..]` (heterogeneous per-group RTTs in ms)
+//! * `--fault-link N` — aim `--loss`/`--flap` at bottleneck hop `N`
+//!   (default 0, the only hop on a dumbbell)
+//!
+//! The scenario-shaping subset lives in [`SharedFlags`], which `probe` and
+//! the `chaos` fuzzer reuse so every binary spells these flags identically.
 
 use crate::cache::RunCache;
 use crate::runner::Recording;
 use crate::scenario::{DurationPreset, RunOptions, ScenarioConfig, PAPER_BWS};
-use elephants_netsim::{CheckMode, FaultPlan, LossModel, SimDuration};
+use elephants_netsim::{CheckMode, FaultPlan, LossModel, SimDuration, TopologySpec};
 
 /// Parsed command line for a figure binary.
 #[derive(Debug, Clone)]
@@ -51,6 +59,115 @@ pub struct Cli {
     pub check: CheckMode,
     /// GRO-style receive coalescing requested with `--coalesce`.
     pub coalesce: bool,
+    /// Topology requested with `--topology` (default: dumbbell).
+    pub topology: TopologySpec,
+    /// Bottleneck hop the loss/fault knobs target (`--fault-link`).
+    pub fault_link: u32,
+}
+
+/// The per-scenario flags every scenario-building binary shares (`probe`,
+/// `sweep`, the figure binaries, and — for the scenario-shaping subset —
+/// the `chaos` fuzzer). One parser, one spelling, one validation path:
+/// a binary's argument loop hands unrecognized flags to [`Self::try_parse`]
+/// and keeps its own binary-specific flags in its own `match`.
+///
+/// Every field is optional ("was this flag given?") so callers that pin
+/// knobs onto existing configs (chaos overrides) can distinguish "leave
+/// the generated value alone" from "force the default".
+#[derive(Debug, Clone, Default)]
+pub struct SharedFlags {
+    /// `--loss MODEL`.
+    pub loss: Option<LossModel>,
+    /// `--flap START,DUR`.
+    pub faults: Option<FaultPlan>,
+    /// `--record CHANNELS`.
+    pub record: Option<Recording>,
+    /// `--sample-interval MS` (requires `--record`).
+    pub sample_interval: Option<SimDuration>,
+    /// `--check MODE`.
+    pub check: Option<CheckMode>,
+    /// `--coalesce` (presence = on).
+    pub coalesce: bool,
+    /// `--topology SPEC`.
+    pub topology: Option<TopologySpec>,
+    /// `--fault-link N`.
+    pub fault_link: Option<u32>,
+}
+
+impl SharedFlags {
+    /// Try to consume `arg` (plus any value it needs from `it`). Returns
+    /// `Ok(true)` when the flag was one of the shared set, `Ok(false)` when
+    /// the caller should handle it, and `Err` on a malformed value.
+    pub fn try_parse(
+        &mut self,
+        arg: &str,
+        it: &mut dyn Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg {
+            "--loss" => self.loss = Some(parse_loss(&need("--loss")?)?),
+            "--flap" => self.faults = Some(parse_flap(&need("--flap")?)?),
+            "--record" => self.record = Some(Recording::parse(&need("--record")?)?),
+            "--check" => self.check = Some(need("--check")?.parse()?),
+            "--coalesce" => self.coalesce = true,
+            "--topology" => self.topology = Some(need("--topology")?.parse()?),
+            "--fault-link" => {
+                self.fault_link = Some(
+                    need("--fault-link")?.parse().map_err(|e| format!("bad --fault-link: {e}"))?,
+                )
+            }
+            "--sample-interval" => {
+                let ms: f64 = need("--sample-interval")?
+                    .parse()
+                    .map_err(|e| format!("bad --sample-interval: {e}"))?;
+                if ms <= 0.0 || !ms.is_finite() {
+                    return Err("--sample-interval must be positive".into());
+                }
+                self.sample_interval = Some(SimDuration::from_secs_f64(ms / 1e3));
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Copy the flags that were given onto a scenario and validate the
+    /// combination (a `--fault-link` outside the `--topology`'s bottleneck
+    /// list fails here, with the config named in the message).
+    pub fn apply(&self, cfg: &mut ScenarioConfig) -> Result<(), String> {
+        if let Some(loss) = self.loss {
+            cfg.loss = loss;
+        }
+        if let Some(faults) = &self.faults {
+            cfg.faults = faults.clone();
+        }
+        if self.coalesce {
+            cfg.coalesce = true;
+        }
+        if let Some(topology) = &self.topology {
+            cfg.topology = topology.clone();
+        }
+        if let Some(fault_link) = self.fault_link {
+            cfg.fault_link = fault_link;
+        }
+        cfg.validate()
+    }
+
+    /// Resolve the recording flags against an output directory: applies
+    /// `--sample-interval` (erroring if it was given without `--record`)
+    /// and roots the artifact directory at `OUT/records`.
+    pub fn recording(&self, out_dir: &str) -> Result<Option<Recording>, String> {
+        match (&self.record, self.sample_interval) {
+            (None, Some(_)) => Err("--sample-interval requires --record".into()),
+            (None, None) => Ok(None),
+            (Some(rec), interval) => {
+                let mut rec = rec.clone().out_dir(format!("{out_dir}/records"));
+                if let Some(interval) = interval {
+                    rec = rec.interval(interval);
+                }
+                Ok(Some(rec))
+            }
+        }
+    }
 }
 
 fn parse_loss(s: &str) -> Result<LossModel, String> {
@@ -111,15 +228,13 @@ impl Cli {
         let mut bws: Vec<u64> = PAPER_BWS.to_vec();
         let mut use_cache = true;
         let mut out_dir = "results".to_string();
-        let mut loss = LossModel::None;
-        let mut faults = FaultPlan::none();
         let mut limit = None;
-        let mut record: Option<Recording> = None;
-        let mut sample_interval: Option<SimDuration> = None;
-        let mut check = CheckMode::Off;
-        let mut coalesce = false;
+        let mut shared = SharedFlags::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
+            if shared.try_parse(&arg, &mut it)? {
+                continue;
+            }
             let mut need = |name: &str| it.next().ok_or(format!("{name} needs a value"));
             match arg.as_str() {
                 "--quick" => opts.preset = DurationPreset::Quick,
@@ -143,8 +258,6 @@ impl Cli {
                 }
                 "--no-cache" => use_cache = false,
                 "--out" => out_dir = need("--out")?,
-                "--loss" => loss = parse_loss(&need("--loss")?)?,
-                "--flap" => faults = parse_flap(&need("--flap")?)?,
                 "--limit" => {
                     let n: usize =
                         need("--limit")?.parse().map_err(|e| format!("bad --limit: {e}"))?;
@@ -153,42 +266,38 @@ impl Cli {
                     }
                     limit = Some(n);
                 }
-                "--record" => record = Some(Recording::parse(&need("--record")?)?),
-                "--check" => check = need("--check")?.parse()?,
-                "--coalesce" => coalesce = true,
-                "--sample-interval" => {
-                    let ms: f64 = need("--sample-interval")?
-                        .parse()
-                        .map_err(|e| format!("bad --sample-interval: {e}"))?;
-                    if ms <= 0.0 || !ms.is_finite() {
-                        return Err("--sample-interval must be positive".into());
-                    }
-                    sample_interval = Some(SimDuration::from_secs_f64(ms / 1e3));
-                }
                 "--help" | "-h" => return Err(HELP.to_string()),
                 other => return Err(format!("unknown flag '{other}'\n{HELP}")),
             }
         }
         let cache = if use_cache { RunCache::new(format!("{out_dir}/cache")) } else { RunCache::disabled() };
-        if let Some(interval) = sample_interval {
-            match record.take() {
-                Some(rec) => record = Some(rec.interval(interval)),
-                None => return Err("--sample-interval requires --record".into()),
-            }
-        }
-        if let Some(rec) = record.take() {
-            record = Some(rec.out_dir(format!("{out_dir}/records")));
-        }
-        Ok(Cli { opts, bws, cache, out_dir, loss, faults, limit, record, check, coalesce })
+        let record = shared.recording(&out_dir)?;
+        Ok(Cli {
+            opts,
+            bws,
+            cache,
+            out_dir,
+            loss: shared.loss.unwrap_or(LossModel::None),
+            faults: shared.faults.clone().unwrap_or_else(FaultPlan::none),
+            limit,
+            record,
+            check: shared.check.unwrap_or(CheckMode::Off),
+            coalesce: shared.coalesce,
+            topology: shared.topology.clone().unwrap_or_default(),
+            fault_link: shared.fault_link.unwrap_or(0),
+        })
     }
 
-    /// Copy the CLI's per-scenario knobs (`--loss`, `--flap`, `--coalesce`)
-    /// into a scenario and validate the combination. Call this on every
-    /// config a fault-aware binary builds from the parsed CLI.
+    /// Copy the CLI's per-scenario knobs (`--loss`, `--flap`, `--coalesce`,
+    /// `--topology`, `--fault-link`) into a scenario and validate the
+    /// combination. Call this on every config a fault-aware binary builds
+    /// from the parsed CLI.
     pub fn apply_faults(&self, cfg: &mut ScenarioConfig) -> Result<(), String> {
         cfg.loss = self.loss;
         cfg.faults = self.faults.clone();
         cfg.coalesce = self.coalesce;
+        cfg.topology = self.topology.clone();
+        cfg.fault_link = self.fault_link;
         cfg.validate()
     }
 
@@ -219,7 +328,9 @@ usage: <figure-binary> [--quick|--full] [--repeats N] [--scale F] [--seed N]
                        [--loss none|bernoulli:P|ge:P_GB,P_BG] [--flap START,DUR]
                        [--limit N] [--record flows[,queue,events]]
                        [--sample-interval MS] [--check off|audit|strict]
-                       [--coalesce]";
+                       [--coalesce]
+                       [--topology dumbbell|parking-lot:K|multi-dumbbell:R1,R2[,..]]
+                       [--fault-link N]";
 
 #[cfg(test)]
 mod tests {
@@ -341,5 +452,118 @@ mod tests {
     fn coalesce_flag_defaults_off() {
         assert!(!parse(&[]).unwrap().coalesce);
         assert!(parse(&["--coalesce"]).unwrap().coalesce);
+    }
+
+    #[test]
+    fn topology_flag_parses_all_spellings() {
+        assert_eq!(parse(&[]).unwrap().topology, TopologySpec::Dumbbell);
+        assert_eq!(
+            parse(&["--topology", "dumbbell"]).unwrap().topology,
+            TopologySpec::Dumbbell
+        );
+        assert_eq!(
+            parse(&["--topology", "parking-lot:3"]).unwrap().topology,
+            TopologySpec::ParkingLot { hops: 3 }
+        );
+        assert_eq!(
+            parse(&["--topology", "multi-dumbbell:31,124"]).unwrap().topology,
+            TopologySpec::MultiDumbbell { rtts_ms: vec![31, 124] }
+        );
+        assert!(parse(&["--topology", "torus"]).is_err());
+        assert!(parse(&["--topology", "parking-lot:1"]).is_err(), "needs >= 2 hops");
+        assert!(parse(&["--topology"]).is_err());
+    }
+
+    #[test]
+    fn fault_link_flag_parses_and_validates_through_apply() {
+        use elephants_aqm::AqmKind;
+        use elephants_cca::CcaKind;
+        assert_eq!(parse(&[]).unwrap().fault_link, 0);
+        let cli =
+            parse(&["--topology", "parking-lot:3", "--fault-link", "2", "--loss", "bernoulli:0.01"])
+                .unwrap();
+        assert_eq!(cli.fault_link, 2);
+        let mut cfg = ScenarioConfig::new(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            1.0,
+            100_000_000,
+            &RunOptions::quick(),
+        );
+        cli.apply_faults(&mut cfg).unwrap();
+        assert_eq!(cfg.topology, TopologySpec::ParkingLot { hops: 3 });
+        assert_eq!(cfg.fault_link, 2);
+        // A dumbbell has one hop: fault_link 2 must fail validation.
+        let bad = parse(&["--fault-link", "2"]).unwrap();
+        let mut cfg2 = cfg.clone();
+        cfg2.topology = TopologySpec::Dumbbell;
+        assert!(bad.apply_faults(&mut cfg2).is_err());
+        assert!(parse(&["--fault-link", "x"]).is_err());
+    }
+
+    // One round-trip test per shared flag: the spelling parsed by
+    // SharedFlags lands on the scenario exactly as the scenario's own
+    // validated field value.
+    #[test]
+    fn shared_flags_round_trip_onto_configs() {
+        use elephants_aqm::AqmKind;
+        use elephants_cca::CcaKind;
+        let base = || {
+            ScenarioConfig::new(
+                CcaKind::Cubic,
+                CcaKind::Cubic,
+                AqmKind::Fifo,
+                1.0,
+                100_000_000,
+                &RunOptions::quick(),
+            )
+        };
+        let through = |args: &[&str]| {
+            let mut shared = SharedFlags::default();
+            let mut it = args.iter().map(|s| s.to_string());
+            while let Some(arg) = it.next() {
+                assert!(shared.try_parse(&arg, &mut it).unwrap(), "unconsumed flag {arg}");
+            }
+            let mut cfg = base();
+            shared.apply(&mut cfg).unwrap();
+            (shared, cfg)
+        };
+
+        let (_, cfg) = through(&["--loss", "bernoulli:0.01"]);
+        assert_eq!(cfg.loss, LossModel::Bernoulli { p: 0.01 });
+        let (_, cfg) = through(&["--flap", "2,0.5"]);
+        assert_eq!(cfg.faults.events.len(), 2);
+        let (_, cfg) = through(&["--coalesce"]);
+        assert!(cfg.coalesce);
+        let (_, cfg) = through(&["--topology", "multi-dumbbell:31,124"]);
+        assert_eq!(cfg.topology, TopologySpec::MultiDumbbell { rtts_ms: vec![31, 124] });
+        let (_, cfg) = through(&["--topology", "parking-lot:2", "--fault-link", "1"]);
+        assert_eq!(cfg.fault_link, 1);
+        let (shared, cfg) = through(&["--check", "strict"]);
+        assert_eq!(shared.check, Some(CheckMode::Strict));
+        assert_eq!(cfg, base(), "--check shapes the runner, not the scenario");
+        let (shared, _) = through(&["--record", "flows,queue", "--sample-interval", "50"]);
+        let rec = shared.recording("o").unwrap().unwrap();
+        assert!(rec.flows && rec.queue && !rec.events);
+        assert_eq!(rec.interval, SimDuration::from_millis(50));
+        assert_eq!(rec.out_dir, std::path::PathBuf::from("o/records"));
+
+        // Flags not given leave the scenario untouched.
+        let mut shared = SharedFlags::default();
+        assert!(!shared.try_parse("--cca1", &mut std::iter::empty()).unwrap());
+        let mut cfg = base();
+        cfg.loss = LossModel::Bernoulli { p: 0.5 };
+        cfg.topology = TopologySpec::ParkingLot { hops: 2 };
+        let expect = cfg.clone();
+        shared.apply(&mut cfg).unwrap();
+        assert_eq!(cfg, expect, "empty SharedFlags must be the identity");
+        assert!(shared.recording("o").unwrap().is_none());
+        assert!(
+            SharedFlags { sample_interval: Some(SimDuration::from_millis(1)), ..Default::default() }
+                .recording("o")
+                .is_err(),
+            "--sample-interval without --record"
+        );
     }
 }

@@ -26,18 +26,16 @@ pub mod sweep;
 pub mod trace;
 
 pub use cache::{cache_put_errors, cache_quarantined, RunCache, CACHE_SCHEMA_VERSION};
-pub use cli::Cli;
+pub use cli::{Cli, SharedFlags};
 pub use par::{par_map, par_map_with_workers, par_try_map, par_try_map_with_workers};
 pub use figures::{
     fig2, fig3, fig4, fig5, fig6, fig7, fig8, render_table3, table3, FigureOutput, Table3Row,
     FIGURE_BUFFERS_BDP,
 };
 pub use report::{bw_label, TextTable};
-#[allow(deprecated)]
-pub use runner::{run_averaged, run_scenario, run_scenario_with_wall_limit};
 pub use runner::{
-    emit_dynamics_figures, AveragedResult, Recording, RunError, RunErrorKind, RunOutcome,
-    RunResult, Runner, DEFAULT_SAMPLE_INTERVAL, DEFAULT_WALL_LIMIT,
+    emit_dynamics_figures, AveragedResult, LinkResult, Recording, RunError, RunErrorKind,
+    RunOutcome, RunResult, Runner, DEFAULT_SAMPLE_INTERVAL, DEFAULT_WALL_LIMIT,
 };
 pub use scenario::{
     paper_grid, paper_pairs, DurationPreset, RunOptions, ScenarioBuilder, ScenarioConfig,
@@ -53,11 +51,9 @@ pub use trace::{run_scenario_traced, ScenarioTrace, TraceSample};
 /// Convenience re-exports for binaries and examples.
 pub mod prelude {
     pub use crate::cache::RunCache;
-    pub use crate::cli::Cli;
+    pub use crate::cli::{Cli, SharedFlags};
     pub use crate::figures::*;
     pub use crate::report::{bw_label, TextTable};
-    #[allow(deprecated)]
-    pub use crate::runner::{run_averaged, run_scenario};
     pub use crate::runner::{Recording, RunError, RunErrorKind, RunOutcome, Runner};
     pub use crate::scenario::*;
     pub use crate::sweep::{
@@ -66,4 +62,5 @@ pub mod prelude {
     pub use crate::trace::{run_scenario_traced, ScenarioTrace};
     pub use elephants_aqm::AqmKind;
     pub use elephants_cca::CcaKind;
+    pub use elephants_netsim::TopologySpec;
 }

@@ -26,12 +26,11 @@ use elephants_cca::build_cca_seeded;
 use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
 use elephants_metrics::{RunMetrics, SenderThroughput};
 use elephants_netsim::{
-    CheckMode, CheckReport, DumbbellSpec, RecorderConfig, SimConfig, SimDuration, SimTime,
-    Simulator,
+    CheckMode, CheckReport, RecorderConfig, SimConfig, SimDuration, SimTime, Simulator,
 };
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_telemetry::{FlightRecord, FlightRecorder};
-use elephants_workload::plan_flows;
+use elephants_workload::{group_specs, plan_flows};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::time::{Duration, Instant};
@@ -217,12 +216,32 @@ impl Recording {
     }
 }
 
+/// Per-bottleneck-link diagnostics of one run. On the paper dumbbell this
+/// vector has one entry mirroring the scalar fields of [`RunResult`];
+/// parking-lot topologies report one entry per shaped hop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkResult {
+    /// Link id in the built topology.
+    pub link: u32,
+    /// Drops at this link (AQM drops + dark-link destruction).
+    pub drops: u64,
+    /// Packets destroyed while a fault held this link down.
+    pub down_drops: u64,
+    /// Largest queue depth observed at this link, in packets.
+    pub peak_queue_pkts: u64,
+    /// This link's wire utilization over the measurement window.
+    pub utilization: f64,
+}
+
+impl_json_struct!(LinkResult { link, drops, down_drops, peak_queue_pkts, utilization });
+
 /// Result of a single (config, seed) run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Per-sender goodput in Mbps over the measurement window.
+    /// Per-flow-group goodput in Mbps over the measurement window (one
+    /// entry per sender host; two on the paper dumbbell).
     pub sender_mbps: Vec<f64>,
-    /// Jain index over the two senders.
+    /// Jain index over the flow groups.
     pub jain: f64,
     /// Link utilization φ.
     pub utilization: f64,
@@ -248,6 +267,10 @@ pub struct RunResult {
     pub fault_events_applied: u64,
     /// Path of the flight record written for this run, if it recorded.
     pub record_path: Option<String>,
+    /// Per-bottleneck-link diagnostics, ordered by the topology's shaped-
+    /// link list. The scalar `drops`/`down_drops`/`peak_queue_pkts`/
+    /// `utilization` fields above mirror entry 0 (the primary bottleneck).
+    pub links: Vec<LinkResult>,
 }
 
 impl_json_struct!(RunResult {
@@ -263,6 +286,7 @@ impl_json_struct!(RunResult {
     peak_queue_pkts,
     fault_events_applied,
     record_path,
+    links,
 });
 
 impl RunResult {
@@ -441,16 +465,20 @@ fn run_one(
         return Err(RunError { kind: RunErrorKind::InvalidConfig, detail });
     }
     let bw = cfg.bandwidth();
-    let spec = DumbbellSpec::paper_with_rtt(bw, cfg.rtt());
-    let mut topo = spec.build();
-    topo.set_bottleneck_aqm(build_aqm(
-        cfg.aqm,
-        cfg.queue_bytes(),
-        cfg.bw_bps,
-        cfg.mss,
-        cfg.ecn,
-        seed,
-    ));
+    let mut topo = cfg
+        .topology
+        .build(bw, cfg.rtt())
+        .map_err(|detail| RunError { kind: RunErrorKind::InvalidConfig, detail })?;
+    // Every shaped hop runs the AQM under test at the configured queue
+    // length (on the dumbbell that is exactly the old single
+    // `set_bottleneck_aqm` call).
+    for bn in topo.bottleneck_links().to_vec() {
+        topo.set_aqm_on(
+            bn,
+            build_aqm(cfg.aqm, cfg.queue_bytes(), cfg.bw_bps, cfg.mss, cfg.ecn, seed),
+        );
+    }
+    let groups = group_specs(&topo);
 
     // A warmup at or past the end of the run would leave a zero-width
     // measurement window, turning every windowed rate below into a division
@@ -480,24 +508,26 @@ fn run_one(
         }
     }
 
-    if let Some(bn) = sim.topology().bottleneck_link() {
+    // Loss/faults target the configured bottleneck hop (index 0 — the only
+    // hop — on the dumbbell); validate() already bounds-checked the index.
+    if let Some(&bn) = sim.topology().bottleneck_links().get(cfg.fault_link as usize) {
         sim.topology_mut().link_mut(bn).loss_model = cfg.loss;
         if !cfg.faults.is_empty() {
             sim.install_fault_plan(bn, &cfg.faults);
         }
     }
 
-    let plan = plan_flows(bw, 2, cfg.flow_scale, seed);
+    let plan = plan_flows(bw, groups.len() as u32, cfg.flow_scale, seed);
     let rx_cfg =
         if cfg.coalesce { ReceiverConfig::coalesced() } else { ReceiverConfig::default() };
-    for (sender_idx, starts) in plan.starts.iter().enumerate() {
-        let kind = if sender_idx == 0 { cfg.cca1 } else { cfg.cca2 };
-        let s_node = spec.sender(sender_idx);
-        let r_node = spec.receiver(sender_idx);
+    for (group, starts) in plan.starts.iter().enumerate() {
+        let g = &groups[group];
+        let kind = if g.cca_slot == 0 { cfg.cca1 } else { cfg.cca2 };
+        let (s_node, r_node) = (g.sender, g.receiver);
         for (i, &start) in starts.iter().enumerate() {
             let flow_seed = seed
                 .wrapping_mul(0x100000001B3)
-                .wrapping_add((sender_idx as u64) << 32 | i as u64);
+                .wrapping_add((group as u64) << 32 | i as u64);
             let cca = build_cca_seeded(kind, cfg.mss, flow_seed);
             let tx = TcpSender::new(
                 SenderConfig { mss: cfg.mss, ecn: cfg.ecn, ..Default::default() },
@@ -550,14 +580,17 @@ fn run_one(
         None => None,
     };
 
-    // Per-flow goodput grouped by sender node.
+    // Per-flow goodput grouped by flow group (sender host).
     let window = summary.window;
     let flow_goodputs: Vec<(u32, f64)> = summary
         .flows
         .iter()
         .map(|f| {
-            let sender_idx = if f.sender_node == spec.sender(0) { 0 } else { 1 };
-            (sender_idx, f.window_goodput_bps(window))
+            let group = groups
+                .iter()
+                .position(|g| g.sender == f.sender_node)
+                .expect("flow sender is one of the topology's sender hosts");
+            (group as u32, f.window_goodput_bps(window))
         })
         .collect();
     let retransmits: u64 = summary.flows.iter().map(|f| f.sender.retransmits_window).sum();
@@ -575,6 +608,24 @@ fn run_one(
     let wire_bps =
         if window_s > 0.0 { summary.bottleneck.bytes_tx_window as f64 * 8.0 / window_s } else { 0.0 };
     let utilization = elephants_metrics::link_utilization(wire_bps, cfg.bw_bps as f64);
+    let links: Vec<LinkResult> = summary
+        .links
+        .iter()
+        .map(|l| {
+            let link_bps = if window_s > 0.0 {
+                l.report.bytes_tx_window as f64 * 8.0 / window_s
+            } else {
+                0.0
+            };
+            LinkResult {
+                link: l.link.0,
+                drops: l.report.aqm.dropped_total() + l.report.fault_losses,
+                down_drops: l.report.down_drops,
+                peak_queue_pkts: l.report.peak_qlen_pkts,
+                utilization: elephants_metrics::link_utilization(link_bps, l.rate_bps as f64),
+            }
+        })
+        .collect();
     let result = RunResult {
         sender_mbps: senders.iter().map(|s| s.goodput_bps / 1e6).collect(),
         jain,
@@ -588,6 +639,7 @@ fn run_one(
         peak_queue_pkts: summary.bottleneck.peak_qlen_pkts,
         fault_events_applied: summary.bottleneck.fault_events_applied,
         record_path,
+        links,
     };
     Ok((result, check_report))
 }
@@ -695,26 +747,6 @@ pub fn emit_dynamics_figures(
     Ok(written)
 }
 
-/// Run one scenario with a specific seed, under the default wall-clock
-/// watchdog ([`DEFAULT_WALL_LIMIT`]).
-#[deprecated(since = "0.2.0", note = "use `Runner::new(cfg).seed(seed).run()`")]
-pub fn run_scenario(cfg: &ScenarioConfig, seed: u64) -> Result<RunResult, RunError> {
-    Runner::new(cfg).seed(seed).run().map(RunOutcome::into_first)
-}
-
-/// [`run_scenario`] with an explicit wall-clock watchdog.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Runner::new(cfg).seed(seed).wall_limit(limit).run()`"
-)]
-pub fn run_scenario_with_wall_limit(
-    cfg: &ScenarioConfig,
-    seed: u64,
-    wall_limit: Duration,
-) -> Result<RunResult, RunError> {
-    Runner::new(cfg).seed(seed).wall_limit(wall_limit).run().map(RunOutcome::into_first)
-}
-
 /// Averages over repeated runs of one scenario.
 #[derive(Debug, Clone)]
 pub struct AveragedResult {
@@ -763,23 +795,9 @@ pub fn average_runs(config: ScenarioConfig, runs: Vec<RunResult>) -> AveragedRes
     }
 }
 
-/// Run `cfg.seed .. cfg.seed + repeats` and average (no cache).
-///
-/// # Panics
-/// Panics if any run fails; figure assembly needs every repeat. Use the
-/// fault-tolerant sweep path for graceful degradation.
-#[deprecated(since = "0.2.0", note = "use `Runner::new(cfg).repeats(n).run()` + `averaged()`")]
-pub fn run_averaged(cfg: &ScenarioConfig, repeats: u32) -> AveragedResult {
-    Runner::new(cfg)
-        .repeats(repeats)
-        .run()
-        .unwrap_or_else(|e| panic!("run failed ({}): {e}", cfg.label()))
-        .into_averaged()
-}
-
 /// Convenience used by tests: first flow's start time for the plan.
 pub fn first_start(cfg: &ScenarioConfig, seed: u64) -> SimTime {
-    plan_flows(cfg.bandwidth(), 2, cfg.flow_scale, seed).starts[0][0]
+    plan_flows(cfg.bandwidth(), cfg.topology.n_groups() as u32, cfg.flow_scale, seed).starts[0][0]
 }
 
 #[cfg(test)]
@@ -870,13 +888,51 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_match_runner() {
+    fn base_seed_run_is_independent_of_repeat_count() {
+        // What the deleted run_scenario/run_averaged shims used to assert:
+        // a repeats(n) outcome's base-seed run is byte-identical to a
+        // standalone single run at the same seed, and averaging one run is
+        // the identity.
         let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 1.0, 100_000_000);
-        #[allow(deprecated)]
-        let shim = run_scenario(&cfg, 5).unwrap();
-        let new = run_seeded(&cfg, 5);
-        assert_eq!(shim.metrics().to_json_string(), new.metrics().to_json_string());
-        assert_eq!(shim.events, new.events);
+        let single = run_seeded(&cfg, 5);
+        let repeated = Runner::new(&cfg).seed(5).repeats(2).run().unwrap();
+        assert_eq!(
+            single.metrics().to_json_string(),
+            repeated.first().metrics().to_json_string()
+        );
+        assert_eq!(single.events, repeated.first().events);
+        let avg = Runner::new(&cfg).seed(5).run().unwrap().into_averaged();
+        assert_eq!(avg.runs.len(), 1);
+        assert!((avg.jain - single.jain).abs() < 1e-15);
+        assert_eq!(avg.sender_mbps, single.sender_mbps);
+    }
+
+    #[test]
+    fn multi_dumbbell_short_rtt_group_runs_and_reports_groups() {
+        use elephants_netsim::TopologySpec;
+        let mut cfg = quick_cfg(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        cfg.topology = TopologySpec::MultiDumbbell { rtts_ms: vec![31, 124] };
+        let r = run_seeded(&cfg, 3);
+        assert_eq!(r.sender_mbps.len(), 2, "one goodput entry per group");
+        assert_eq!(r.links.len(), 1, "multi-dumbbell has one shared bottleneck");
+        assert!(r.utilization > 0.5, "φ = {}", r.utilization);
+        assert!(r.sender_mbps.iter().all(|&m| m > 0.0), "{:?}", r.sender_mbps);
+    }
+
+    #[test]
+    fn parking_lot_reports_one_link_result_per_hop() {
+        use elephants_netsim::{CheckMode, TopologySpec};
+        let mut cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        cfg.topology = TopologySpec::ParkingLot { hops: 3 };
+        let out = Runner::new(&cfg).seed(2).check(CheckMode::Strict).run().unwrap();
+        assert_eq!(out.check_violations(), 0, "strict parking-lot run must be clean");
+        let r = out.first();
+        assert_eq!(r.sender_mbps.len(), 4, "K+1 groups on a K-hop parking lot");
+        assert_eq!(r.links.len(), 3, "one diagnostic entry per shaped hop");
+        assert_eq!(r.drops, r.links[0].drops, "scalars mirror the primary hop");
+        assert_eq!(r.peak_queue_pkts, r.links[0].peak_queue_pkts);
+        // The long path crosses every hop, so each hop carries traffic.
+        assert!(r.links.iter().all(|l| l.utilization > 0.0), "{:?}", r.links);
     }
 
     #[test]

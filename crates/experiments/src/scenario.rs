@@ -2,7 +2,7 @@
 
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
-use elephants_netsim::{bdp_bytes, Bandwidth, FaultPlan, LossModel, SimDuration};
+use elephants_netsim::{bdp_bytes, Bandwidth, FaultPlan, LossModel, SimDuration, TopologySpec};
 use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
 
 /// The paper's bottleneck bandwidths (Table 1).
@@ -81,6 +81,15 @@ pub struct ScenarioConfig {
     /// the paper's hosts disable GRO/LRO for the measurements, and the
     /// pinned byte-identity fixtures assume per-segment ACK policy).
     pub coalesce: bool,
+    /// Network shape the run is simulated on. The default
+    /// [`TopologySpec::Dumbbell`] reproduces the paper testbed exactly;
+    /// parking-lot / multi-dumbbell shapes enable the multi-bottleneck and
+    /// heterogeneous-RTT extensions.
+    pub topology: TopologySpec,
+    /// Which bottleneck link (index into the topology's shaped-link list)
+    /// the `loss` and `faults` knobs apply to. `0` — the only choice on a
+    /// dumbbell — targets the primary bottleneck.
+    pub fault_link: u32,
 }
 
 impl_json_struct!(ScenarioConfig {
@@ -100,6 +109,8 @@ impl_json_struct!(ScenarioConfig {
     faults,
     max_events,
     coalesce,
+    topology,
+    fault_link,
 });
 
 /// Fluent constructor for [`ScenarioConfig`]: start from the paper
@@ -202,6 +213,19 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Run on a non-default topology (parking lot, multi-dumbbell, …).
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Aim the loss/fault knobs at bottleneck link `fault_link` (index into
+    /// the topology's shaped-link list).
+    pub fn fault_link(mut self, fault_link: u32) -> Self {
+        self.cfg.fault_link = fault_link;
+        self
+    }
+
     /// Validate and return the config ([`ScenarioConfig::validate`]).
     pub fn build(self) -> Result<ScenarioConfig, String> {
         self.cfg.validate()?;
@@ -250,6 +274,8 @@ impl ScenarioConfig {
             faults: FaultPlan::none(),
             max_events: u64::MAX,
             coalesce: false,
+            topology: TopologySpec::Dumbbell,
+            fault_link: 0,
         }
     }
 
@@ -263,11 +289,19 @@ impl ScenarioConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.loss.validate()?;
         self.faults.validate()?;
+        self.topology.validate()?;
         if self.max_events == 0 {
             return Err("max_events budget of zero would fail every run".to_string());
         }
         if !(self.flow_scale > 0.0 && self.flow_scale <= 1.0) {
             return Err(format!("flow_scale out of (0,1]: {}", self.flow_scale));
+        }
+        let n_bn = self.topology.n_bottlenecks();
+        if self.fault_link as usize >= n_bn {
+            return Err(format!(
+                "fault_link {} out of range: topology '{}' has {} bottleneck link(s)",
+                self.fault_link, self.topology, n_bn
+            ));
         }
         Ok(())
     }
@@ -275,7 +309,10 @@ impl ScenarioConfig {
     /// Whether any fault-injection knob deviates from the fault-free
     /// default.
     pub fn is_faulted(&self) -> bool {
-        self.loss != LossModel::None || !self.faults.is_empty() || self.max_events != u64::MAX
+        self.loss != LossModel::None
+            || !self.faults.is_empty()
+            || self.max_events != u64::MAX
+            || self.fault_link != 0
     }
 
     /// Stable fingerprint of the fault knobs, empty for fault-free
@@ -288,12 +325,17 @@ impl ScenarioConfig {
         // runs (insertion-ordered JSON), filename-safe, and collision-proof
         // enough for a cache key that also carries every other field.
         let mut h: u64 = 0xcbf29ce484222325;
-        let canon = format!(
+        // `fault_link` folds in only when non-default so every pre-topology
+        // faulted config keeps the fingerprint already on disk.
+        let mut canon = format!(
             "{}|{}|{}",
             self.loss.to_json_string(),
             self.faults.to_json_string(),
             self.max_events,
         );
+        if self.fault_link != 0 {
+            canon.push_str(&format!("|link{}", self.fault_link));
+        }
         for b in canon.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
@@ -344,19 +386,24 @@ impl ScenarioConfig {
             seed,
             self.fault_fingerprint(),
             if self.coalesce { "-gro" } else { "" },
-        )
+        ) + &self.topology.cache_tag()
     }
 
-    /// Human-readable label ("BBRv1 vs CUBIC, fifo, 2 BDP, 1Gbps").
+    /// Human-readable label ("BBRv1 vs CUBIC, fifo, 2 BDP, 1Gbps"); a
+    /// non-default topology is appended ("…, parking-lot:3").
     pub fn label(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} vs {}, {}, {} BDP, {}",
             self.cca1.pretty(),
             self.cca2.pretty(),
             self.aqm,
             self.queue_bdp,
             self.bandwidth()
-        )
+        );
+        if self.topology != TopologySpec::Dumbbell {
+            s.push_str(&format!(", {}", self.topology));
+        }
+        s
     }
 }
 
@@ -544,6 +591,75 @@ mod tests {
         .unwrap();
         assert_ne!(base.cache_key(1), gro.cache_key(1));
         assert!(gro.cache_key(1).ends_with("-gro"));
+    }
+
+    #[test]
+    fn topology_knob_changes_cache_key_only_when_non_default() {
+        let opts = RunOptions::standard();
+        let base =
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        assert_eq!(base.topology, TopologySpec::Dumbbell);
+        assert!(
+            !base.cache_key(1).contains("-topo"),
+            "dumbbell configs must keep their pre-topology cache keys"
+        );
+        let pl = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .topology(TopologySpec::ParkingLot { hops: 3 })
+        .build()
+        .unwrap();
+        assert_ne!(base.cache_key(1), pl.cache_key(1));
+        assert!(pl.cache_key(1).ends_with("-topo-pl3"), "{}", pl.cache_key(1));
+        assert!(pl.label().ends_with(", parking-lot:3"), "{}", pl.label());
+        assert!(!base.label().contains("dumbbell"), "default label is unchanged");
+    }
+
+    #[test]
+    fn fault_link_validates_against_topology_and_fingerprints() {
+        let opts = RunOptions::standard();
+        let mut cfg =
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        cfg.loss = LossModel::Bernoulli { p: 0.001 };
+        assert!(cfg.validate().is_ok());
+        let key0 = cfg.cache_key(1);
+        cfg.fault_link = 1;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("fault_link"), "{err}");
+        cfg.topology = TopologySpec::ParkingLot { hops: 3 };
+        assert!(cfg.validate().is_ok(), "hop 1 exists on a 3-hop parking lot");
+        assert!(cfg.is_faulted());
+        assert_ne!(cfg.cache_key(1), key0, "fault_link is part of the fingerprint");
+        cfg.fault_link = 3;
+        assert!(cfg.validate().is_err(), "3 hops means links 0..=2");
+    }
+
+    #[test]
+    fn topology_config_round_trips_json() {
+        use elephants_json::FromJson;
+        let opts = RunOptions::quick();
+        for topo in [
+            TopologySpec::Dumbbell,
+            TopologySpec::ParkingLot { hops: 2 },
+            TopologySpec::MultiDumbbell { rtts_ms: vec![31, 124] },
+        ] {
+            let mut cfg = ScenarioConfig::new(
+                CcaKind::BbrV1,
+                CcaKind::Cubic,
+                AqmKind::Fifo,
+                2.0,
+                PAPER_BWS[0],
+                &opts,
+            );
+            cfg.topology = topo;
+            let back = ScenarioConfig::from_json_str(&cfg.to_json_string()).unwrap();
+            assert_eq!(back, cfg);
+        }
     }
 
     #[test]

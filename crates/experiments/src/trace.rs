@@ -12,11 +12,20 @@
 //! * cumulative drops and retransmissions.
 //!
 //! Traces serialize to JSON for external analysis.
+//!
+//! Tracing is deliberately **dumbbell-only**: it reproduces the paper's
+//! published-log format, which is defined for the two-sender testbed. A
+//! config carrying a non-default [`TopologySpec`] is rejected up front;
+//! multi-bottleneck time series come from the flight recorder's per-link
+//! queue channel instead (`Runner::recorder` +
+//! `FlightRecord::queue_series_for`).
+//!
+//! [`TopologySpec`]: elephants_netsim::TopologySpec
 
 use crate::scenario::ScenarioConfig;
 use elephants_aqm::build_aqm;
 use elephants_cca::build_cca_seeded;
-use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator};
+use elephants_netsim::{DumbbellSpec, SimConfig, SimDuration, SimTime, Simulator, TopologySpec};
 use elephants_tcp::{ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 use elephants_workload::plan_flows;
 use elephants_json::{impl_json_struct, ToJson};
@@ -95,6 +104,12 @@ impl ScenarioTrace {
 /// events — so traces are faithful views of the untraced runs.
 pub fn run_scenario_traced(cfg: &ScenarioConfig, seed: u64, interval: SimDuration) -> ScenarioTrace {
     assert!(!interval.is_zero(), "sampling interval must be positive");
+    assert!(
+        cfg.topology == TopologySpec::Dumbbell,
+        "tracing is dumbbell-only (paper log format); use the flight recorder's \
+         per-link queue channel for `{}`",
+        cfg.topology
+    );
     let bw = cfg.bandwidth();
     let spec = DumbbellSpec::paper_with_rtt(bw, cfg.rtt());
     let mut topo = spec.build();

@@ -35,7 +35,7 @@
 //!     leaf: LinkSpec::new(Bandwidth::from_gbps(25), SimDuration::from_millis(2)),
 //! };
 //! let topo = spec.build();
-//! assert_eq!(topo.rtt(), SimDuration::from_millis(62));
+//! assert_eq!(topo.base_rtt(), SimDuration::from_millis(62));
 //! ```
 
 pub mod check;
@@ -66,9 +66,15 @@ pub use record::{
     RecorderHandle, TraceEvent, TraceEventKind, TRACE_NO_FLOW,
 };
 pub use rng::{Rng, RngExt, SeedableRng, SmallRng};
-pub use sim::{Ctx, EndpointReport, FlowEndpoint, RunSummary, SimConfig, Simulator, TimerToken};
+pub use sim::{
+    BottleneckReport, Ctx, EndpointReport, FlowEndpoint, LinkReport, RunSummary, SimConfig,
+    Simulator, TimerToken,
+};
 pub use time::{SimDuration, SimTime};
-pub use topology::{DumbbellSpec, Topology};
+pub use topology::{
+    DumbbellSpec, ExplicitSpec, GroupDef, LinkDef, MultiDumbbellSpec, ParkingLotSpec, Topology,
+    TopologySpec,
+};
 pub use units::{bdp_bytes, Bandwidth};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -82,7 +88,7 @@ pub mod prelude {
     pub use crate::record::{FlowProbe, FlowSample, NullRecorder, QueueSample, Recorder, RecorderConfig};
     pub use crate::sim::{Ctx, FlowEndpoint, SimConfig, Simulator};
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::topology::{DumbbellSpec, Topology};
+    pub use crate::topology::{DumbbellSpec, Topology, TopologySpec};
     pub use crate::units::{bdp_bytes, Bandwidth};
     pub use crate::rng::{Rng, RngExt, SeedableRng, SmallRng};
 }

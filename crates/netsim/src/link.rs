@@ -37,6 +37,11 @@ impl LinkSpec {
 /// Byte/packet counters for one link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
+    /// Packets offered to this link's egress (before any queue/down-link
+    /// decision). Anchors the per-link conservation identity:
+    /// `pkts_offered == down_drops + dequeued + dropped_enqueue +
+    /// dropped_dequeue + backlog`.
+    pub pkts_offered: u64,
     /// Packets fully serialized onto the wire.
     pub pkts_tx: u64,
     /// Bytes fully serialized onto the wire.
@@ -131,6 +136,7 @@ impl Link {
     /// the transmitter is idle. While the link is down the packet is
     /// destroyed (a dark link has no queue to hold it).
     pub fn offer(&mut self, pkt: Packet, now: SimTime, events: &mut EventQueue, rng: &mut SmallRng) {
+        self.stats.pkts_offered += 1;
         if !self.up {
             self.stats.down_drops += 1;
             if let Some(ring) = &mut self.trace {

@@ -13,6 +13,7 @@
 //! ([`RecorderHandle::null`], the default) no sample events are scheduled at
 //! all: the hot path pays nothing.
 
+use crate::link::LinkId;
 use crate::packet::FlowId;
 use crate::time::{SimDuration, SimTime};
 use std::any::Any;
@@ -44,11 +45,14 @@ pub struct FlowSample {
     pub probe: FlowProbe,
 }
 
-/// One bottleneck-queue telemetry sample.
+/// One bottleneck-queue telemetry sample. Multi-bottleneck topologies emit
+/// one sample per instrumented link per tick, distinguished by `link`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueSample {
     /// Sample time.
     pub t: SimTime,
+    /// The sampled link.
+    pub link: LinkId,
     /// Packets queued.
     pub backlog_pkts: u64,
     /// Bytes queued.

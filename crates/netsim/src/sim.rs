@@ -286,13 +286,29 @@ pub struct BottleneckReport {
     pub fault_events_applied: u64,
 }
 
+/// One instrumented link's counters in a [`RunSummary`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkReport {
+    /// The link.
+    pub link: LinkId,
+    /// The link's serialization rate at the end of the run, bits/s (for
+    /// per-link utilization; mid-run `SetBandwidth` faults move it).
+    pub rate_bps: u64,
+    /// The link's counters.
+    pub report: BottleneckReport,
+}
+
 /// Everything measured in one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
     /// Per-flow reports, indexed by flow id.
     pub flows: Vec<FlowReport>,
-    /// Bottleneck-link counters.
+    /// Primary-bottleneck counters (the first designated link); kept as a
+    /// scalar so single-bottleneck consumers are untouched.
     pub bottleneck: BottleneckReport,
+    /// Per-bottleneck-link counters, in designation order. Length 1 on a
+    /// dumbbell, one entry per shaped hop on a parking lot.
+    pub links: Vec<LinkReport>,
     /// Length of the measurement window.
     pub window: SimDuration,
     /// Total simulated duration.
@@ -315,7 +331,9 @@ pub struct Simulator {
     marked: bool,
     started: bool,
     processed: u64,
-    mark_bytes_bottleneck: u64,
+    /// `bytes_tx` of each designated bottleneck link at the warmup mark,
+    /// aligned with `topo.bottleneck_links()`.
+    mark_bytes: Vec<u64>,
     /// Installed fault actions; `Event::Fault { idx }` indexes this table.
     fault_actions: Vec<FaultAction>,
     /// Flight-recorder slot; empty by default (recording off).
@@ -353,7 +371,7 @@ impl Simulator {
             marked: false,
             started: false,
             processed: 0,
-            mark_bytes_bottleneck: 0,
+            mark_bytes: Vec::new(),
             fault_actions: Vec::new(),
             recorder: RecorderHandle::null(),
             checker: None,
@@ -659,8 +677,24 @@ impl Simulator {
     }
 
     /// Finalize-time checks: global packet conservation summed over every
-    /// link, plus the deep (O(n)) per-queue scans and a last pass over
-    /// every flow's structural invariants.
+    /// link, the *per-link* conservation identities, the deep (O(n))
+    /// per-queue scans, and a last pass over every flow's structural
+    /// invariants.
+    ///
+    /// The per-link identities localize what the global sum can only
+    /// detect in aggregate (on a multi-bottleneck topology, two
+    /// compensating miscounts on different hops cancel globally):
+    ///
+    /// * **offer conservation** — every packet offered to a link's egress
+    ///   is down-dropped, still queued, dropped by the AQM (at enqueue or
+    ///   dequeue), or was dequeued:
+    ///   `pkts_offered == down_drops + dequeued + dropped_enqueue +
+    ///   dropped_dequeue + backlog`. (FqCodel's cross-flow eviction is
+    ///   covered because evicted packets count in `dropped_enqueue`, and
+    ///   `enqueued` — whose eviction bookkeeping differs per AQM — does
+    ///   not appear.)
+    /// * **tx accounting** — every dequeued packet was serialized exactly
+    ///   once: `pkts_tx == dequeued`.
     fn run_final_checks(&mut self) {
         let Some(mut ck) = self.checker.take() else { return };
         let (now, seq) = (self.now, self.processed);
@@ -670,8 +704,32 @@ impl Simulator {
             let qs = link.aqm.stats();
             dropped += qs.dropped_enqueue + qs.dropped_dequeue + ls.down_drops + ls.fault_losses;
             duplicated += ls.duplicated;
-            resident += link.aqm.backlog_pkts() as u64;
-            let fails = link.aqm.check_invariants(now, true);
+            let backlog = link.aqm.backlog_pkts() as u64;
+            resident += backlog;
+            let mut fails = link.aqm.check_invariants(now, true);
+            let accounted =
+                ls.down_drops + qs.dequeued + qs.dropped_enqueue + qs.dropped_dequeue + backlog;
+            if ls.pkts_offered != accounted {
+                fails.push(CheckFailure::new(
+                    "link_conservation",
+                    format!(
+                        "offered {} != down_drops {} + dequeued {} + dropped_enqueue {} \
+                         + dropped_dequeue {} + backlog {}",
+                        ls.pkts_offered,
+                        ls.down_drops,
+                        qs.dequeued,
+                        qs.dropped_enqueue,
+                        qs.dropped_dequeue,
+                        backlog
+                    ),
+                ));
+            }
+            if ls.pkts_tx != qs.dequeued {
+                fails.push(CheckFailure::new(
+                    "link_tx_accounting",
+                    format!("pkts_tx {} != dequeued {}", ls.pkts_tx, qs.dequeued),
+                ));
+            }
             if !fails.is_empty() {
                 ck.record(fails, None, Some(link.id.0 as u64), seq, now);
             }
@@ -714,9 +772,12 @@ impl Simulator {
             slot.sender.on_mark(at);
             slot.receiver.on_mark(at);
         }
-        if let Some(bn) = self.topo.bottleneck_link() {
-            self.mark_bytes_bottleneck = self.topo.link(bn).stats().bytes_tx;
-        }
+        self.mark_bytes = self
+            .topo
+            .bottleneck_links()
+            .iter()
+            .map(|&l| self.topo.link(l).stats().bytes_tx)
+            .collect();
     }
 
     /// One sample tick: read flow and bottleneck-queue state into the
@@ -732,11 +793,12 @@ impl Simulator {
             }
         }
         if cfg.queue {
-            if let Some(bn) = self.topo.bottleneck_link() {
+            for &bn in self.topo.bottleneck_links() {
                 let link = self.topo.link(bn);
                 let stats = link.aqm_stats();
                 rec.on_queue_sample(&QueueSample {
                     t: now,
+                    link: bn,
                     backlog_pkts: link.aqm.backlog_pkts() as u64,
                     backlog_bytes: link.aqm.backlog_bytes(),
                     dropped: stats.dropped_total(),
@@ -839,26 +901,38 @@ impl Simulator {
                 receiver: slot.receiver.report(),
             })
             .collect();
-        let bottleneck = match self.topo.bottleneck_link() {
-            Some(bn) => {
+        let links: Vec<LinkReport> = self
+            .topo
+            .bottleneck_links()
+            .iter()
+            .enumerate()
+            .map(|(i, &bn)| {
                 let link = self.topo.link(bn);
-                BottleneckReport {
-                    bytes_tx_total: link.stats().bytes_tx,
-                    bytes_tx_window: link.stats().bytes_tx - self.mark_bytes_bottleneck,
-                    aqm: link.aqm_stats(),
-                    fault_losses: link.stats().fault_losses,
-                    down_drops: link.stats().down_drops,
-                    reordered: link.stats().reordered,
-                    duplicated: link.stats().duplicated,
-                    peak_qlen_pkts: link.stats().peak_qlen_pkts,
-                    fault_events_applied: link.stats().fault_events_applied,
+                // Before the mark fires `mark_bytes` is empty (degenerate
+                // zero-warmup slices); treat the mark snapshot as zero.
+                let mark = self.mark_bytes.get(i).copied().unwrap_or(0);
+                LinkReport {
+                    link: bn,
+                    rate_bps: link.rate.as_bps(),
+                    report: BottleneckReport {
+                        bytes_tx_total: link.stats().bytes_tx,
+                        bytes_tx_window: link.stats().bytes_tx - mark,
+                        aqm: link.aqm_stats(),
+                        fault_losses: link.stats().fault_losses,
+                        down_drops: link.stats().down_drops,
+                        reordered: link.stats().reordered,
+                        duplicated: link.stats().duplicated,
+                        peak_qlen_pkts: link.stats().peak_qlen_pkts,
+                        fault_events_applied: link.stats().fault_events_applied,
+                    },
                 }
-            }
-            None => BottleneckReport::default(),
-        };
+            })
+            .collect();
+        let bottleneck = links.first().map(|l| l.report).unwrap_or_default();
         RunSummary {
             flows,
             bottleneck,
+            links,
             window: self.cfg.duration - self.cfg.warmup,
             duration: self.cfg.duration,
             events_processed: processed,
@@ -1231,6 +1305,56 @@ mod tests {
         sim.run();
         let report = sim.take_check_report().unwrap();
         assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn parking_lot_reports_per_link_and_passes_strict_checks() {
+        use crate::check::CheckMode;
+        use crate::topology::ParkingLotSpec;
+        let spec = ParkingLotSpec::paper_with_rtt(
+            Bandwidth::from_mbps(100),
+            SimDuration::from_millis(62),
+            3,
+        );
+        let topo = spec.build().unwrap();
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(2),
+            warmup: SimDuration::ZERO,
+            max_events: u64::MAX,
+        };
+        let mut sim = Simulator::new(topo, cfg, 7);
+        // One blast per group: the long flow plus each cross flow.
+        for g in 0..4usize {
+            let (s, r) = (spec.sender(g), spec.receiver(g));
+            sim.add_flow(
+                s,
+                r,
+                Box::new(BlastSender {
+                    peer: r,
+                    n: 50,
+                    size: 1250,
+                    acked: 0,
+                    report: Default::default(),
+                }),
+                Box::new(CountingReceiver { peer: s, next: 0, report: Default::default() }),
+                SimTime::ZERO,
+            );
+        }
+        sim.set_check_mode(CheckMode::Strict);
+        let summary = sim.run();
+        let report = sim.take_check_report().unwrap();
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // One summary entry per shaped hop; the first mirrors `bottleneck`.
+        assert_eq!(summary.links.len(), 3);
+        assert_eq!(summary.links[0].report.bytes_tx_total, summary.bottleneck.bytes_tx_total);
+        // Hop 0 carries the long group + cross group 1 (100 pkts); the
+        // last hop carries the long group + cross group 3.
+        assert_eq!(summary.links[0].report.aqm.dequeued, 100);
+        assert_eq!(summary.links[2].report.aqm.dequeued, 100);
+        // Every flow completed end to end.
+        for rep in &summary.flows {
+            assert_eq!(rep.receiver.delivered_segments, 50);
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod e2e_tests {
         let bw = Bandwidth::from_mbps(bw_mbps);
         let spec = DumbbellSpec::paper(bw);
         let mut topo = spec.build();
-        let rtt = topo.rtt();
+        let rtt = topo.base_rtt();
         let buffer = (elephants_netsim::bdp_bytes(bw, rtt) as f64 * buffer_bdp) as u64;
         topo.set_bottleneck_aqm(Box::new(DropTail::new(buffer.max(4 * 8900))));
         let mut sim = Simulator::new(

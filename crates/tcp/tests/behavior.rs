@@ -10,7 +10,7 @@ fn paper_sim(bw_mbps: u64, buffer_bdp: f64, secs: u64, seed: u64) -> (Simulator,
     let bw = Bandwidth::from_mbps(bw_mbps);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = elephants_netsim::bdp_bytes(bw, topo.rtt());
+    let bdp = elephants_netsim::bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(
         ((bdp as f64 * buffer_bdp) as u64).max(4 * 8900),
     )));
@@ -165,7 +165,7 @@ fn ecn_marks_flow_back_to_sender() {
     let bw = Bandwidth::from_mbps(100);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = elephants_netsim::bdp_bytes(bw, topo.rtt());
+    let bdp = elephants_netsim::bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(elephants_aqm::build_aqm(
         elephants_aqm::AqmKind::FqCodel,
         2 * bdp,

@@ -21,7 +21,10 @@ use std::any::Any;
 
 /// Schema version stamped into every [`FlightRecord`]. Bump when the JSON
 /// shape of the record or its point types changes.
-pub const FLIGHT_RECORD_VERSION: u32 = 1;
+///
+/// v2: [`QueuePoint`] gained a `link` field so multi-bottleneck topologies
+/// can record one queue series per instrumented link.
+pub const FLIGHT_RECORD_VERSION: u32 = 2;
 
 /// One per-flow sample row (times in seconds; `null` = not yet measured).
 #[derive(Debug, Clone, PartialEq)]
@@ -44,11 +47,14 @@ pub struct FlowPoint {
 
 impl_json_struct!(FlowPoint { t_s, flow, cwnd, pacing_bps, srtt_s, inflight, phase });
 
-/// One bottleneck-queue sample row.
+/// One bottleneck-queue sample row. Multi-bottleneck topologies interleave
+/// one row per instrumented link per tick, distinguished by `link`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueuePoint {
     /// Sample time, seconds since run start.
     pub t_s: f64,
+    /// Sampled link id.
+    pub link: u32,
     /// Packets queued.
     pub backlog_pkts: u64,
     /// Bytes queued.
@@ -62,7 +68,7 @@ pub struct QueuePoint {
     pub control: Option<f64>,
 }
 
-impl_json_struct!(QueuePoint { t_s, backlog_pkts, backlog_bytes, dropped, marked, control });
+impl_json_struct!(QueuePoint { t_s, link, backlog_pkts, backlog_bytes, dropped, marked, control });
 
 /// One per-packet trace row.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,9 +151,30 @@ impl FlightRecord {
             .collect()
     }
 
-    /// The `(t, backlog_pkts)` series of the bottleneck queue.
+    /// The distinct instrumented link ids present, ascending.
+    pub fn queue_link_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.queue_samples.iter().map(|p| p.link).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// The `(t, backlog_pkts)` series of the primary bottleneck queue (the
+    /// lowest instrumented link id — the only one on a dumbbell).
     pub fn queue_series(&self) -> Vec<(f64, f64)> {
-        self.queue_samples.iter().map(|p| (p.t_s, p.backlog_pkts as f64)).collect()
+        match self.queue_link_ids().first() {
+            Some(&link) => self.queue_series_for(link),
+            None => Vec::new(),
+        }
+    }
+
+    /// The `(t, backlog_pkts)` series of one instrumented link's queue.
+    pub fn queue_series_for(&self, link: u32) -> Vec<(f64, f64)> {
+        self.queue_samples
+            .iter()
+            .filter(|p| p.link == link)
+            .map(|p| (p.t_s, p.backlog_pkts as f64))
+            .collect()
     }
 
     /// Number of completed ProbeBW cycles visible in a flow's phase series:
@@ -219,6 +246,7 @@ impl Recorder for FlightRecorder {
     fn on_queue_sample(&mut self, s: &QueueSample) {
         self.queue_samples.push(QueuePoint {
             t_s: s.t.as_nanos() as f64 / 1e9,
+            link: s.link.0,
             backlog_pkts: s.backlog_pkts,
             backlog_bytes: s.backlog_bytes,
             dropped: s.dropped,
@@ -254,7 +282,7 @@ impl Recorder for FlightRecorder {
 mod tests {
     use super::*;
     use elephants_json::ToJson;
-    use elephants_netsim::{FlowId, FlowProbe, SimTime, TraceEventKind};
+    use elephants_netsim::{FlowId, FlowProbe, LinkId, SimTime, TraceEventKind};
 
     fn sample(t_ms: u64, flow: u32, cwnd: u64, phase: &'static str) -> FlowSample {
         FlowSample {
@@ -285,6 +313,7 @@ mod tests {
         rec.on_flow_sample(&sample(20, 1, 29_600, "probe_bw:1.25"));
         rec.on_queue_sample(&QueueSample {
             t: SimTime::ZERO + SimDuration::from_millis(10),
+            link: LinkId(1),
             backlog_pkts: 12,
             backlog_bytes: 18_000,
             dropped: 3,
@@ -311,7 +340,7 @@ mod tests {
     #[test]
     fn schema_mismatch_is_rejected() {
         let record = FlightRecorder::new().into_record("x".into(), 0, SimDuration::from_millis(1));
-        let json = record.to_json_string().replace("\"schema_version\":1", "\"schema_version\":99");
+        let json = record.to_json_string().replace("\"schema_version\":2", "\"schema_version\":99");
         let err = FlightRecord::parse(&json).unwrap_err();
         assert!(err.to_string().contains("schema"), "{err}");
     }
@@ -334,6 +363,30 @@ mod tests {
         ]);
         assert_eq!(rec.probe_bw_cycles(0), 3);
         assert_eq!(rec.probe_bw_cycles(1), 0, "unknown flow has no cycles");
+    }
+
+    #[test]
+    fn per_link_queue_series_split() {
+        let mut rec = FlightRecorder::new();
+        for (tick, link, pkts) in [(0u64, 4u32, 3u64), (0, 5, 7), (10, 4, 4), (10, 5, 8)] {
+            rec.on_queue_sample(&QueueSample {
+                t: SimTime::ZERO + SimDuration::from_millis(tick),
+                link: LinkId(link),
+                backlog_pkts: pkts,
+                backlog_bytes: pkts * 1500,
+                dropped: 0,
+                marked: 0,
+                control: None,
+            });
+        }
+        let record = rec.into_record("pl".into(), 7, SimDuration::from_millis(10));
+        assert_eq!(record.queue_link_ids(), vec![4, 5]);
+        // The unqualified series is the lowest-id (primary) link.
+        assert_eq!(record.queue_series(), record.queue_series_for(4));
+        assert_eq!(record.queue_series_for(4).len(), 2);
+        let deep: Vec<f64> = record.queue_series_for(5).iter().map(|p| p.1).collect();
+        assert_eq!(deep, vec![7.0, 8.0]);
+        assert!(record.queue_series_for(99).is_empty());
     }
 
     #[test]

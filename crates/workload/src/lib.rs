@@ -12,7 +12,7 @@
 //! | 10 Gbps | 200 | 10 processes/node × 10 streams |
 //! | 25 Gbps | 500 | 25 processes/node × 10 streams |
 
-use elephants_netsim::{Bandwidth, SimDuration, SimTime};
+use elephants_netsim::{Bandwidth, NodeId, SimDuration, SimTime, Topology};
 use elephants_json::impl_json_struct;
 use elephants_netsim::{RngExt, SeedableRng, SmallRng};
 
@@ -73,6 +73,54 @@ impl FlowPlan {
     pub fn total(&self) -> u32 {
         self.starts.iter().map(|v| v.len() as u32).sum()
     }
+}
+
+/// One flow group's route through a topology: which hosts its flows run
+/// between, which CCA slot they use, and the path RTT they will see.
+///
+/// A "group" is one (sender host, receiver host) pair — the topology-aware
+/// generalization of the paper's two dumbbell sender nodes. Group 0 carries
+/// the scenario's first congestion-control algorithm (`cca1`), every other
+/// group the second (`cca2`), matching the dumbbell convention where sender
+/// 0 runs the algorithm under test against a CUBIC competitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSpec {
+    /// Group index (position in the topology's sender-host list).
+    pub group: u32,
+    /// The group's sender host.
+    pub sender: NodeId,
+    /// The group's receiver host.
+    pub receiver: NodeId,
+    /// CCA assignment: `0` = scenario `cca1`, `1` = scenario `cca2`.
+    pub cca_slot: u8,
+    /// Two-way propagation delay along the group's routed path.
+    pub rtt: SimDuration,
+}
+
+/// Derive the flow groups of a built topology: one per (sender, receiver)
+/// host pair, with per-group path RTTs computed from the route tables.
+///
+/// Panics if the topology's sender/receiver host lists disagree in length
+/// or a pair is unroutable — both indicate a malformed topology builder,
+/// not a runtime condition.
+pub fn group_specs(topo: &Topology) -> Vec<GroupSpec> {
+    let senders = topo.sender_hosts();
+    let receivers = topo.receiver_hosts();
+    assert_eq!(senders.len(), receivers.len(), "sender/receiver host lists must pair up");
+    senders
+        .iter()
+        .zip(receivers.iter())
+        .enumerate()
+        .map(|(g, (&s, &r))| GroupSpec {
+            group: g as u32,
+            sender: s,
+            receiver: r,
+            cca_slot: if g == 0 { 0 } else { 1 },
+            rtt: topo
+                .path_rtt(s, r)
+                .unwrap_or_else(|| panic!("group {g} ({s:?} -> {r:?}) is unroutable")),
+        })
+        .collect()
 }
 
 /// Build the flow plan for a scenario.
@@ -144,6 +192,31 @@ mod tests {
         assert_eq!(p.total(), 50);
         let p = plan_flows(Bandwidth::from_mbps(100), 2, 0.01, 1);
         assert_eq!(p.total(), 2, "at least one flow per sender");
+    }
+
+    #[test]
+    fn group_specs_on_dumbbell_match_paper_convention() {
+        let topo = elephants_netsim::DumbbellSpec::paper(Bandwidth::from_mbps(100)).build();
+        let groups = group_specs(&topo);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].cca_slot, 0, "group 0 runs cca1");
+        assert_eq!(groups[1].cca_slot, 1, "competitor group runs cca2");
+        for g in &groups {
+            assert_eq!(g.rtt, topo.base_rtt(), "dumbbell paths are symmetric");
+        }
+        assert_ne!(groups[0].sender, groups[1].sender);
+    }
+
+    #[test]
+    fn group_specs_see_heterogeneous_rtts() {
+        let spec = elephants_netsim::MultiDumbbellSpec {
+            bw: Bandwidth::from_mbps(100),
+            rtts: vec![SimDuration::from_millis(31), SimDuration::from_millis(124)],
+        };
+        let topo = spec.build().unwrap();
+        let groups = group_specs(&topo);
+        assert_eq!(groups[0].rtt, SimDuration::from_millis(31));
+        assert_eq!(groups[1].rtt, SimDuration::from_millis(124));
     }
 
     #[test]

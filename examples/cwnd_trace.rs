@@ -14,7 +14,7 @@ fn main() {
     let bw = Bandwidth::from_mbps(500);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = bdp_bytes(bw, topo.rtt());
+    let bdp = bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(4 * bdp)));
     let mut sim = Simulator::new(
         topo,

@@ -22,7 +22,7 @@ fn run_one(kind: CcaKind, loss: f64) -> f64 {
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
     // 2 BDP droptail bottleneck with Bernoulli loss injected on the wire.
-    let bdp = bdp_bytes(bw, topo.rtt());
+    let bdp = bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(2 * bdp)));
     let bn = topo.bottleneck_link().expect("dumbbell has a bottleneck");
     topo.link_mut(bn).loss_model = LossModel::Bernoulli { p: loss };

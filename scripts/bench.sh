@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Benchmark-regression pipeline.
 #
-# Runs the engine benchmark on the two tracked scenarios — the paper's
-# 25 Gbps FIFO cell at quick scale and the same cell at standard scale
-# (Table 2's 500-flow workload) — and folds the measurements into
+# Runs the engine benchmark on the three tracked scenarios — the paper's
+# 25 Gbps FIFO cell at quick scale, the same cell at standard scale
+# (Table 2's 500-flow workload), and the 3-hop parking lot exercising the
+# multi-bottleneck path — and folds the measurements into
 # BENCH_netsim.json at the workspace root (events/sec, ns/event,
 # min/median/max sample spread, peak bottleneck-queue depth). Entries are
 # keyed by BENCH_LABEL (default "current"; the Table-2 entry appends
-# "-table2", override with BENCH_LABEL_TABLE2); re-running with the same
+# "-table2", the parking-lot entry "-parkinglot"; override with
+# BENCH_LABEL_TABLE2 / BENCH_LABEL_PARKINGLOT); re-running with the same
 # label replaces that entry, so the file is an append-only perf trajectory
 # across PRs.
 #
@@ -26,7 +28,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FILTER="engine/25gbps_fifo"
+FILTER="engine/"
 for arg in "$@"; do
   case "$arg" in
     --all) FILTER="" ;;

@@ -34,6 +34,14 @@
 #                                round-trip) plus a full replay of the
 #                                committed regression corpus; any finding
 #                                or corpus regression fails the lane
+#   scripts/ci.sh --topo-smoke   also run the topology lane: the dumbbell
+#                                equivalence suite (byte-identical RunMetrics
+#                                and cache keys vs pre-topology fixtures), a
+#                                strict-checked 3-hop parking-lot probe run
+#                                with per-hop link reports, and the
+#                                rtt_unfair binary (which exits nonzero if
+#                                the short-RTT BBR share is not monotone in
+#                                the RTT ratio)
 #   scripts/ci.sh --bench-gate   also run the tracked engine benchmarks
 #                                against a scratch copy of the committed
 #                                BENCH_netsim.json and fail when events/sec
@@ -49,6 +57,7 @@ fault_smoke=0
 record_smoke=0
 check_smoke=0
 fuzz_smoke=0
+topo_smoke=0
 bench_gate=0
 for arg in "$@"; do
   case "$arg" in
@@ -57,6 +66,7 @@ for arg in "$@"; do
     --record-smoke) record_smoke=1 ;;
     --check-smoke) check_smoke=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
+    --topo-smoke) topo_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -132,6 +142,41 @@ if [[ "$fuzz_smoke" -eq 1 ]]; then
   fi
   if ! grep -Eq 'chaos-corpus: fixtures=[1-9][0-9]* failures=0' <<<"$out"; then
     echo "fuzz smoke: corpus replay failed or corpus is empty" >&2
+    exit 1
+  fi
+fi
+
+if [[ "$topo_smoke" -eq 1 ]]; then
+  # The topology subsystem's safety envelope plus its two new behaviors.
+  # 1. Dumbbell equivalence: RunMetrics JSON and cache keys byte-identical
+  #    to fixtures pinned before the subsystem existed.
+  cargo test -q --offline -p integration-tests --test topology_equiv
+
+  # 2. Multi-bottleneck strict run: a 3-hop parking lot under the strict
+  #    checker must finish with zero violations and report one busy link
+  #    line per hop.
+  out="$(cargo run --release --offline -p elephants-experiments --bin probe -- \
+    --cca1 cubic --cca2 cubic --aqm fifo --queue 2 --bw 100M --secs 5 \
+    --topology parking-lot:3 --check strict 2>&1 | tee /dev/stderr)"
+  if ! grep -q 'check        : mode=Strict' <<<"$out"; then
+    echo "topo smoke: strict checker did not report" >&2
+    exit 1
+  fi
+  if ! grep -q 'violations=0' <<<"$out"; then
+    echo "topo smoke: violations reported on the parking lot" >&2
+    exit 1
+  fi
+  if [[ "$(grep -c 'link' <<<"$out" || true)" -lt 3 ]]; then
+    echo "topo smoke: expected per-hop link report lines" >&2
+    exit 1
+  fi
+
+  # 3. RTT-unfairness: rtt_unfair exits nonzero unless the short-RTT BBR
+  #    share grows monotonically through the 1:1/2:1/4:1 ratios.
+  out="$(cargo run --release --offline -p elephants-experiments --bin rtt_unfair -- \
+    --bw 100M --secs 10 2>&1 | tee /dev/stderr)"
+  if ! grep -q 'rtt-unfair: monotone=yes' <<<"$out"; then
+    echo "topo smoke: rtt_unfair did not report monotone shares" >&2
     exit 1
   fi
 fi

@@ -35,13 +35,18 @@ fn first_seed(tag: &str, pred: impl Fn(&ScenarioConfig) -> bool) -> (u64, Scenar
         .unwrap_or_else(|| panic!("no cheap generated case matching `{tag}` in 10k seeds"))
 }
 
-/// The curated corner cases: one faulted, one lossy, one coalescing run,
-/// each found by a deterministic scan over the generator's seed space.
+/// The curated corner cases: one faulted, one lossy, one coalescing and
+/// one multi-bottleneck run, each found by a deterministic scan over the
+/// generator's seed space.
 fn curated_fixtures() -> Vec<ChaosFixture> {
     let picks = [
         ("faulted", first_seed("faulted", |c| !c.faults.is_empty())),
         ("lossy", first_seed("lossy", |c| c.loss != elephants::netsim::LossModel::None)),
         ("coalescing", first_seed("coalescing", |c| c.coalesce)),
+        (
+            "multi-bottleneck",
+            first_seed("multi-bottleneck", |c| c.topology.n_bottlenecks() > 1),
+        ),
     ];
     picks
         .into_iter()

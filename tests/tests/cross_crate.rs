@@ -82,7 +82,7 @@ fn custom_topology_with_loss_injection() {
     let bw = Bandwidth::from_mbps(100);
     let spec = DumbbellSpec::paper(bw);
     let mut topo = spec.build();
-    let bdp = bdp_bytes(bw, topo.rtt());
+    let bdp = bdp_bytes(bw, topo.base_rtt());
     topo.set_bottleneck_aqm(Box::new(DropTail::new(2 * bdp)));
     let bn = topo.bottleneck_link().unwrap();
     topo.link_mut(bn).loss_model = LossModel::Bernoulli { p: 0.001 };
@@ -111,7 +111,7 @@ fn gilbert_elliott_bursts_hurt_more_than_bernoulli_for_cubic() {
         let bw = Bandwidth::from_mbps(100);
         let spec = DumbbellSpec::paper(bw);
         let mut topo = spec.build();
-        let bdp = bdp_bytes(bw, topo.rtt());
+        let bdp = bdp_bytes(bw, topo.base_rtt());
         topo.set_bottleneck_aqm(Box::new(DropTail::new(2 * bdp)));
         let bn = topo.bottleneck_link().unwrap();
         topo.link_mut(bn).loss_model = model;
