@@ -1,0 +1,158 @@
+//! Property-based tests on the fairness-dynamics invariants (seeded
+//! harness, `netsim::prop` style).
+//!
+//! Records are synthetic: random monotone cumulative `delivered_bytes`
+//! series per flow, which is the only signal the analysis layer reads.
+
+use elephants_analysis::{convergence_time, fairness_dynamics, windowed_goodput, ConvergenceSpec};
+use elephants_netsim::prop::{run_cases, vec_of};
+use elephants_netsim::{prop_check, RngExt, SmallRng};
+use elephants_telemetry::{FlightRecord, FlowPoint, FLIGHT_RECORD_VERSION};
+
+const STEP_MS: u64 = 50;
+
+/// A random per-flow cumulative series: `steps` entries 50 ms apart,
+/// each adding 0–50 kB, with a random idle prefix.
+fn gen_flow(rng: &mut SmallRng, steps: usize) -> Vec<(u64, u64)> {
+    let idle = rng.random_range(0..(steps as u64 / 2).max(1));
+    let mut total = 0u64;
+    (0..steps as u64)
+        .map(|k| {
+            if k >= idle {
+                total += rng.random_range(0..50_000u64);
+            }
+            (k * STEP_MS, total)
+        })
+        .collect()
+}
+
+fn record_of(series: &[Vec<(u64, u64)>]) -> FlightRecord {
+    let mut flow_samples: Vec<FlowPoint> = Vec::new();
+    for (f, points) in series.iter().enumerate() {
+        for &(t_ms, delivered) in points {
+            flow_samples.push(FlowPoint {
+                t_s: t_ms as f64 / 1e3,
+                flow: f as u32,
+                cwnd: 10_000,
+                pacing_bps: None,
+                srtt_s: None,
+                inflight: 0,
+                phase: "steady".into(),
+                delivered_bytes: delivered,
+                retx: 0,
+            });
+        }
+    }
+    flow_samples.sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap());
+    FlightRecord {
+        schema_version: FLIGHT_RECORD_VERSION,
+        label: "prop".into(),
+        seed: 0,
+        sample_interval_s: STEP_MS as f64 / 1e3,
+        flow_samples,
+        queue_samples: vec![],
+        events: vec![],
+        events_truncated: 0,
+    }
+}
+
+/// Per-flow cumulative `(t_ms, delivered_bytes)` series.
+type FlowSeries = Vec<Vec<(u64, u64)>>;
+
+fn gen_record(rng: &mut SmallRng) -> (FlightRecord, FlowSeries, Vec<u32>) {
+    let steps = rng.random_range(10..60usize);
+    let flows = vec_of(rng, 1, 6, |r| gen_flow(r, steps));
+    let n_groups = rng.random_range(1..=flows.len() as u32);
+    let groups: Vec<u32> = (0..flows.len() as u32).map(|f| f % n_groups).collect();
+    (record_of(&flows), flows, groups)
+}
+
+#[test]
+fn windowed_jain_stays_within_jain_bounds() {
+    run_cases("windowed_jain_bounds", 200, |rng| {
+        let (rec, _, groups) = gen_record(rng);
+        let window_s = [0.1, 0.25, 0.5][rng.random_range(0..3usize)];
+        let d = fairness_dynamics(&rec, &groups, window_s, 1e8);
+        let n = d.n_groups() as f64;
+        for (k, &j) in d.jain.iter().enumerate() {
+            prop_check!(
+                (1.0 / n - 1e-9..=1.0 + 1e-9).contains(&j),
+                "J(t) out of [1/{n}, 1] at window {k}: {j}"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn windowed_goodput_reconciles_with_total_goodput() {
+    // Summing windowed goodput over the complete windows recovers each
+    // flow's total delivered bytes, short only by what arrived in the
+    // trailing partial window (< one window of slack).
+    run_cases("windowed_goodput_reconciles", 200, |rng| {
+        let (rec, flows, _) = gen_record(rng);
+        let window_s = [0.1, 0.25, 0.3][rng.random_range(0..3usize)];
+        let g = windowed_goodput(&rec, window_s);
+        for (f, series) in flows.iter().enumerate() {
+            let windowed_bytes: f64 =
+                g.bps[f].iter().map(|bps| bps * window_s / 8.0).sum();
+            // Bytes on the wire before t=0 are baseline, not goodput —
+            // the analysis differences against the t=0 sample.
+            let base = series.first().unwrap().1 as f64;
+            let total = series.last().unwrap().1 as f64 - base;
+            let horizon_ms = series.last().unwrap().0;
+            // Delivered within the final `window_s` of the trace — the
+            // partial window the analysis is allowed to drop.
+            let tail_start_ms = horizon_ms.saturating_sub((window_s * 1e3) as u64);
+            let tail_bytes = series.last().unwrap().1 as f64
+                - series
+                    .iter()
+                    .rfind(|(t, _)| *t <= tail_start_ms)
+                    .map_or(0.0, |(_, d)| *d as f64);
+            prop_check!(
+                windowed_bytes <= total + 1e-6,
+                "flow {f}: windowed sum {windowed_bytes} exceeds total {total}"
+            );
+            prop_check!(
+                total - windowed_bytes <= tail_bytes + 1e-6,
+                "flow {f}: discrepancy {} exceeds one-window slack {tail_bytes}",
+                total - windowed_bytes
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn convergence_time_is_monotone_in_epsilon() {
+    // A laxer fairness band (larger ε) can only be entered sooner:
+    // convergence time is non-increasing in ε, and convergence under a
+    // tight band implies convergence under every looser one.
+    run_cases("convergence_monotone_in_epsilon", 200, |rng| {
+        let (rec, _, groups) = gen_record(rng);
+        let d = fairness_dynamics(&rec, &groups, 0.1, 1e8);
+        let hold_s = [0.1, 0.2, 0.5][rng.random_range(0..3usize)];
+        let mut epsilons: Vec<f64> =
+            (0..4).map(|_| rng.random_range(1..90u32) as f64 / 100.0).collect();
+        epsilons.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let times: Vec<Option<f64>> = epsilons
+            .iter()
+            .map(|&epsilon| convergence_time(&d, &ConvergenceSpec { epsilon, hold_s }))
+            .collect();
+        for pair in times.windows(2) {
+            match (pair[0], pair[1]) {
+                (Some(tight), Some(loose)) => prop_check!(
+                    loose <= tight + 1e-9,
+                    "larger ε converged later: {loose} > {tight} (ε={epsilons:?})"
+                ),
+                (Some(tight), None) => {
+                    return Err(format!(
+                        "converged at tight ε (t={tight}) but not at looser ε ({epsilons:?})"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    });
+}

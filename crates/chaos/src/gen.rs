@@ -183,6 +183,20 @@ pub fn generate_case(case_seed: u64) -> ScenarioConfig {
         cfg.fault_link = rng.random_range(0..cfg.topology.n_bottlenecks() as u32);
     }
 
+    // Start-offset draws extend the END of the stream (same discipline as
+    // the topology block above): every pre-offset seed consumes its old
+    // prefix unchanged, so the committed corpus replays byte-identically.
+    // One group joins late, 100 ms-quantized, at most half the duration
+    // in — the offset must leave the late group time to actually run.
+    if rng.random_bool(0.2) {
+        let n_groups = cfg.topology.n_groups();
+        let idx = rng.random_range(0..n_groups);
+        let off_ms = rng.random_range(1..=duration_ms / 200) * 100;
+        let mut offsets = vec![0u64; n_groups];
+        offsets[idx] = off_ms;
+        cfg.start_offset_ms = offsets;
+    }
+
     debug_assert!(cfg.validate().is_ok(), "generator must emit valid configs");
     cfg
 }
@@ -250,7 +264,7 @@ mod tests {
         let mut ccas = std::collections::BTreeSet::new();
         let mut aqms = std::collections::BTreeSet::new();
         let (mut coalesced, mut faulted, mut lossy) = (0u32, 0u32, 0u32);
-        let (mut parking, mut multi, mut off_hop) = (0u32, 0u32, 0u32);
+        let (mut parking, mut multi, mut off_hop, mut staggered) = (0u32, 0u32, 0u32, 0u32);
         for seed in 0..500 {
             let cfg = generate_case(seed);
             ccas.insert(format!("{}", cfg.cca1));
@@ -258,6 +272,10 @@ mod tests {
             coalesced += cfg.coalesce as u32;
             faulted += !cfg.faults.is_empty() as u32;
             lossy += (cfg.loss != LossModel::None) as u32;
+            if cfg.is_staggered() {
+                staggered += 1;
+                assert_eq!(cfg.start_offset_ms.len(), cfg.topology.n_groups());
+            }
             match &cfg.topology {
                 TopologySpec::Dumbbell => assert_eq!(cfg.fault_link, 0),
                 TopologySpec::ParkingLot { .. } => parking += 1,
@@ -275,5 +293,9 @@ mod tests {
         assert!(parking > 20, "parking-lot in only {parking}/500");
         assert!(multi > 20, "multi-dumbbell in only {multi}/500");
         assert!(off_hop > 10, "fault aimed off hop 0 in only {off_hop}/500");
+        assert!(
+            staggered > 50 && staggered < 200,
+            "staggered starts in {staggered}/500, want ~20%"
+        );
     }
 }

@@ -10,10 +10,12 @@
 //! 2. shorten the run (halve `duration`, zero `warmup`),
 //! 3. remove fault events (one at a time, from the back),
 //! 4. simplify the loss model (Gilbert–Elliott → Bernoulli → None),
-//! 5. simplify the topology (anything → the paper dumbbell; failing
+//! 5. zero the start offsets (clear the whole staggered-start vector;
+//!    failing that, zero one entry at a time from the back),
+//! 6. simplify the topology (anything → the paper dumbbell; failing
 //!    that, re-aim `fault_link` at hop 0),
-//! 6. clear the boolean knobs (`coalesce`, `ecn`),
-//! 7. round sizes to paper defaults (`mss` 8900, `rtt` 62 ms,
+//! 7. clear the boolean knobs (`coalesce`, `ecn`),
+//! 8. round sizes to paper defaults (`mss` 8900, `rtt` 62 ms,
 //!    `queue_bdp` 2.0, bandwidth 100 Mbps, unlimited event budget).
 //!
 //! Every pass enumerates candidates in a fixed order and the predicate is
@@ -141,12 +143,40 @@ impl<'a> Shrinker<'a> {
         false
     }
 
+    fn pass_zero_offset(&mut self, cfg: &mut ScenarioConfig) -> bool {
+        if cfg.start_offset_ms.is_empty() {
+            return false;
+        }
+        // Whole-vector clear first: one accepted step beats per-entry
+        // zeroing, and an empty vector is the canonical all-synchronous
+        // form (it drops the cache-key tag and the serialized field).
+        let mut c = cfg.clone();
+        c.start_offset_ms = Vec::new();
+        if self.try_adopt(cfg, c) {
+            return true;
+        }
+        let mut changed = false;
+        let mut idx = cfg.start_offset_ms.len();
+        while idx > 0 {
+            idx -= 1;
+            if cfg.start_offset_ms[idx] != 0 {
+                let mut c = cfg.clone();
+                c.start_offset_ms[idx] = 0;
+                changed |= self.try_adopt(cfg, c);
+            }
+        }
+        changed
+    }
+
     fn pass_topology(&mut self, cfg: &mut ScenarioConfig) -> bool {
         let mut changed = false;
         if cfg.topology != TopologySpec::Dumbbell {
             let mut c = cfg.clone();
             c.topology = TopologySpec::Dumbbell;
             c.fault_link = 0;
+            // A wider topology's offset vector may not fit the dumbbell's
+            // two groups; drop the tail so the candidate stays valid.
+            c.start_offset_ms.truncate(2);
             changed |= self.try_adopt(cfg, c);
         }
         // The dumbbell jump may be rejected (multi-hop failure): still try
@@ -212,6 +242,7 @@ pub fn shrink(
         changed |= shrinker.pass_duration(&mut current);
         changed |= shrinker.pass_faults(&mut current);
         changed |= shrinker.pass_loss(&mut current);
+        changed |= shrinker.pass_zero_offset(&mut current);
         changed |= shrinker.pass_topology(&mut current);
         changed |= shrinker.pass_booleans(&mut current);
         changed |= shrinker.pass_round_sizes(&mut current);
@@ -273,6 +304,7 @@ mod tests {
         cfg.max_events = 50_000_000;
         cfg.topology = TopologySpec::ParkingLot { hops: 3 };
         cfg.fault_link = 2;
+        cfg.start_offset_ms = vec![0, 400, 0, 200];
         cfg
     }
 
@@ -294,6 +326,7 @@ mod tests {
         assert_eq!(min.max_events, u64::MAX);
         assert_eq!(min.topology, TopologySpec::Dumbbell);
         assert_eq!(min.fault_link, 0);
+        assert!(min.start_offset_ms.is_empty(), "offsets shrink to synchronous starts");
         // CCA/AQM/seed are identity, not size: never touched.
         assert_eq!(min.cca1, CcaKind::BbrV2);
         assert_eq!(min.aqm, AqmKind::Pie);
@@ -323,6 +356,20 @@ mod tests {
         let out = shrink(&baroque(), pred, 500);
         assert_eq!(out.config.topology, TopologySpec::ParkingLot { hops: 3 });
         assert_eq!(out.config.fault_link, 0);
+        assert!(out.config.validate().is_ok());
+    }
+
+    #[test]
+    fn stagger_carrying_failures_keep_one_offset() {
+        // The whole-vector clear is rejected (the failure needs a late
+        // joiner), so the pass zeroes entries back-to-front, keeping
+        // exactly the offsets the failure depends on — and the dumbbell
+        // jump truncates the vector to the two surviving groups.
+        let pred = |c: &ScenarioConfig| c.is_staggered();
+        let out = shrink(&baroque(), pred, 500);
+        assert!(out.config.is_staggered());
+        assert_eq!(out.config.start_offset_ms, vec![0, 400]);
+        assert_eq!(out.config.topology, TopologySpec::Dumbbell);
         assert!(out.config.validate().is_ok());
     }
 

@@ -21,6 +21,9 @@
 //!   regeneration entry point per paper figure/table;
 //! * [`telemetry`] — the flight recorder: versioned per-run dynamics
 //!   artifacts (cwnd/queue time series) behind the paper-style figures;
+//! * [`analysis`] — fairness dynamics over flight records: windowed
+//!   goodput, J(t), convergence time, late-joiner responsiveness and
+//!   seeded bootstrap confidence intervals;
 //! * [`chaos`] — the deterministic fuzzer: seeded scenario/fault
 //!   generation, a four-oracle judge, automatic shrinking, and the
 //!   replayable regression corpus under `tests/fixtures/chaos/`.
@@ -46,6 +49,7 @@
 
 pub use elephants_json as json;
 
+pub use elephants_analysis as analysis;
 pub use elephants_aqm as aqm;
 pub use elephants_cca as cca;
 pub use elephants_chaos as chaos;

@@ -23,6 +23,7 @@ use crate::scenario::ScenarioConfig;
 use elephants_aqm::build_aqm;
 use elephants_cca::build_cca_seeded;
 
+use elephants_analysis::FairnessDynamics;
 use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
 use elephants_metrics::{RunMetrics, SenderThroughput};
 use elephants_netsim::{
@@ -343,6 +344,44 @@ impl RunOutcome {
         self.first().record_path.as_deref()
     }
 
+    /// Re-read the base-seed run's flight record through the versioned
+    /// parser. Errors when the run did not record (attach a
+    /// [`Recording`] with an `out_dir`) or the artifact fails to parse.
+    pub fn load_record(&self) -> Result<FlightRecord, String> {
+        let path = self
+            .record_path()
+            .ok_or("no flight record: run with .recorder(Recording::flows_only().out_dir(..))")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        FlightRecord::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+    }
+
+    /// Group assignment of every flow id in a run of this scenario: flows
+    /// are added group by group, `per_sender` flows each, so flow `f`
+    /// belongs to group `f / per_sender` (the mapping
+    /// [`elephants_analysis::fairness_dynamics`] wants).
+    pub fn flow_groups(&self) -> Vec<u32> {
+        let n_groups = self.config.topology.n_groups() as u32;
+        // The plan's per-sender flow count is seed-independent (only the
+        // start jitter draws), so the config seed maps every repeat.
+        let plan =
+            plan_flows(self.config.bandwidth(), n_groups, self.config.flow_scale, self.config.seed);
+        (0..n_groups).flat_map(|g| std::iter::repeat_n(g, plan.per_sender as usize)).collect()
+    }
+
+    /// Fairness dynamics of the base-seed run at the given window:
+    /// windowed per-group shares, `J(t)` and burst-tolerant utilization,
+    /// computed from the recorded `delivered_bytes` counters. The usual
+    /// entry point into `elephants-analysis` after a recorded run.
+    pub fn analysis(&self, window_s: f64) -> Result<FairnessDynamics, String> {
+        let record = self.load_record()?;
+        Ok(elephants_analysis::fairness_dynamics(
+            &record,
+            &self.flow_groups(),
+            window_s,
+            self.config.bw_bps as f64,
+        ))
+    }
+
     /// Total invariant violations across all repeats (0 when checking was
     /// off or every run was clean).
     pub fn check_violations(&self) -> u64 {
@@ -478,7 +517,9 @@ fn run_one(
             build_aqm(cfg.aqm, cfg.queue_bytes(), cfg.bw_bps, cfg.mss, cfg.ecn, seed),
         );
     }
-    let groups = group_specs(&topo);
+    let mut groups = group_specs(&topo);
+    elephants_workload::apply_start_offsets(&mut groups, &cfg.start_offsets());
+    let groups = groups;
 
     // A warmup at or past the end of the run would leave a zero-width
     // measurement window, turning every windowed rate below into a division
@@ -535,7 +576,7 @@ fn run_one(
                 cca,
             );
             let rx = TcpReceiver::new(rx_cfg, s_node);
-            sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start);
+            sim.add_flow(s_node, r_node, Box::new(tx), Box::new(rx), start + g.start_offset);
         }
     }
 
@@ -1067,6 +1108,62 @@ mod tests {
         );
         let cwnd_svg = dir.join(format!("{}.cwnd.svg", cfg.cache_key(9)));
         assert!(cwnd_svg.exists(), "cwnd dynamics figure written");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorded_samples_carry_monotone_delivered_counters() {
+        let cfg = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        let dir = std::env::temp_dir().join(format!("elephants-deliv-{}", std::process::id()));
+        let outcome = Runner::new(&cfg)
+            .seed(4)
+            .recorder(Recording::flows_only().out_dir(&dir).svg(false))
+            .run()
+            .unwrap();
+        let record = outcome.load_record().expect("record written and parseable");
+        for flow in record.flow_ids() {
+            let series = record.delivered_series(flow);
+            assert!(
+                series.windows(2).all(|w| w[1].1 >= w[0].1),
+                "delivered_bytes must be cumulative (flow {flow})"
+            );
+            assert!(
+                series.last().unwrap().1 > 0.0,
+                "flow {flow} delivered nothing over the whole run"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn start_offset_delays_the_group_and_analysis_sees_the_join() {
+        let base = quick_cfg(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, 100_000_000);
+        let offset_s = 3.0;
+        let mut staggered = base.clone();
+        staggered.start_offset_ms = vec![0, (offset_s * 1e3) as u64];
+        let dir = std::env::temp_dir().join(format!("elephants-stag-{}", std::process::id()));
+        let outcome = Runner::new(&staggered)
+            .seed(2)
+            .recorder(Recording::flows_only().out_dir(&dir).svg(false))
+            .run()
+            .unwrap();
+        let d = outcome.analysis(0.5).expect("dynamics from the record");
+        assert_eq!(outcome.flow_groups(), vec![0, 1]);
+        // Group 1 must be silent before its join and active after it.
+        let joiner = d.share_series(1);
+        let pre: f64 = joiner.iter().filter(|p| p.0 <= offset_s).map(|p| p.1).sum();
+        assert_eq!(pre, 0.0, "late group moved bytes before its offset");
+        let post_active = joiner.iter().any(|p| p.0 > offset_s + 1.0 && p.1 > 0.05);
+        assert!(post_active, "late group never became active: {joiner:?}");
+        // The synchronized run is not perturbed: distinct cache keys keep
+        // the artifacts apart, and the offset run really differs.
+        assert_ne!(base.cache_key(2), staggered.cache_key(2));
+        let plain = run_seeded(&base, 2);
+        let stag = outcome.into_first();
+        assert!(
+            stag.sender_mbps[1] < plain.sender_mbps[1],
+            "a 3s-late group must move less than a synchronized one"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

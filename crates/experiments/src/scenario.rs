@@ -3,7 +3,7 @@
 use elephants_aqm::AqmKind;
 use elephants_cca::CcaKind;
 use elephants_netsim::{bdp_bytes, Bandwidth, FaultPlan, LossModel, SimDuration, TopologySpec};
-use elephants_json::{impl_json_struct, impl_json_unit_enum, ToJson};
+use elephants_json::{impl_json_struct, impl_json_unit_enum, FromJson, JsonError, ToJson, Value};
 
 /// The paper's bottleneck bandwidths (Table 1).
 pub const PAPER_BWS: [u64; 5] =
@@ -90,28 +90,76 @@ pub struct ScenarioConfig {
     /// the `loss` and `faults` knobs apply to. `0` — the only choice on a
     /// dumbbell — targets the primary bottleneck.
     pub fault_link: u32,
+    /// Per-group flow-start offsets in milliseconds (staggered-join
+    /// scenarios: a nonzero entry delays every flow of that group, making
+    /// it a late joiner). May be shorter than the group count — remaining
+    /// groups start at their plan time. Empty (the default) reproduces the
+    /// paper's synchronized start.
+    pub start_offset_ms: Vec<u64>,
 }
 
-impl_json_struct!(ScenarioConfig {
-    cca1,
-    cca2,
-    aqm,
-    queue_bdp,
-    bw_bps,
-    duration,
-    warmup,
-    flow_scale,
-    mss,
-    ecn,
-    rtt_ms,
-    seed,
-    loss,
-    faults,
-    max_events,
-    coalesce,
-    topology,
-    fault_link,
-});
+// Hand-written (not `impl_json_struct!`) so `start_offset_ms` can be
+// omitted when empty and backfilled on parse: every pre-offset config
+// JSON — committed chaos fixtures (whose filenames hash the JSON), cache
+// artifacts, round-trip oracles — stays byte-identical. The macro would
+// both emit the field unconditionally and reject documents lacking it.
+impl ToJson for ScenarioConfig {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("cca1".to_string(), self.cca1.to_json()),
+            ("cca2".to_string(), self.cca2.to_json()),
+            ("aqm".to_string(), self.aqm.to_json()),
+            ("queue_bdp".to_string(), self.queue_bdp.to_json()),
+            ("bw_bps".to_string(), self.bw_bps.to_json()),
+            ("duration".to_string(), self.duration.to_json()),
+            ("warmup".to_string(), self.warmup.to_json()),
+            ("flow_scale".to_string(), self.flow_scale.to_json()),
+            ("mss".to_string(), self.mss.to_json()),
+            ("ecn".to_string(), self.ecn.to_json()),
+            ("rtt_ms".to_string(), self.rtt_ms.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+            ("loss".to_string(), self.loss.to_json()),
+            ("faults".to_string(), self.faults.to_json()),
+            ("max_events".to_string(), self.max_events.to_json()),
+            ("coalesce".to_string(), self.coalesce.to_json()),
+            ("topology".to_string(), self.topology.to_json()),
+            ("fault_link".to_string(), self.fault_link.to_json()),
+        ];
+        if !self.start_offset_ms.is_empty() {
+            fields.push(("start_offset_ms".to_string(), self.start_offset_ms.to_json()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl FromJson for ScenarioConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(ScenarioConfig {
+            cca1: FromJson::from_json(v.get_field("cca1")?)?,
+            cca2: FromJson::from_json(v.get_field("cca2")?)?,
+            aqm: FromJson::from_json(v.get_field("aqm")?)?,
+            queue_bdp: FromJson::from_json(v.get_field("queue_bdp")?)?,
+            bw_bps: FromJson::from_json(v.get_field("bw_bps")?)?,
+            duration: FromJson::from_json(v.get_field("duration")?)?,
+            warmup: FromJson::from_json(v.get_field("warmup")?)?,
+            flow_scale: FromJson::from_json(v.get_field("flow_scale")?)?,
+            mss: FromJson::from_json(v.get_field("mss")?)?,
+            ecn: FromJson::from_json(v.get_field("ecn")?)?,
+            rtt_ms: FromJson::from_json(v.get_field("rtt_ms")?)?,
+            seed: FromJson::from_json(v.get_field("seed")?)?,
+            loss: FromJson::from_json(v.get_field("loss")?)?,
+            faults: FromJson::from_json(v.get_field("faults")?)?,
+            max_events: FromJson::from_json(v.get_field("max_events")?)?,
+            coalesce: FromJson::from_json(v.get_field("coalesce")?)?,
+            topology: FromJson::from_json(v.get_field("topology")?)?,
+            fault_link: FromJson::from_json(v.get_field("fault_link")?)?,
+            start_offset_ms: match v.get_field("start_offset_ms") {
+                Ok(f) => FromJson::from_json(f)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
+}
 
 /// Fluent constructor for [`ScenarioConfig`]: start from the paper
 /// defaults, override individual fields, and validate once at
@@ -226,6 +274,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Stagger group joins: entry `g` delays every flow of group `g` by
+    /// that many milliseconds (late-joiner scenarios). Shorter-than-group
+    /// lists leave the remaining groups at their plan start.
+    pub fn start_offset_ms(mut self, offsets: Vec<u64>) -> Self {
+        self.cfg.start_offset_ms = offsets;
+        self
+    }
+
     /// Validate and return the config ([`ScenarioConfig::validate`]).
     pub fn build(self) -> Result<ScenarioConfig, String> {
         self.cfg.validate()?;
@@ -276,6 +332,7 @@ impl ScenarioConfig {
             coalesce: false,
             topology: TopologySpec::Dumbbell,
             fault_link: 0,
+            start_offset_ms: Vec::new(),
         }
     }
 
@@ -303,7 +360,34 @@ impl ScenarioConfig {
                 self.fault_link, self.topology, n_bn
             ));
         }
+        let n_groups = self.topology.n_groups();
+        if self.start_offset_ms.len() > n_groups {
+            return Err(format!(
+                "{} start offsets for topology '{}' with {} group(s)",
+                self.start_offset_ms.len(),
+                self.topology,
+                n_groups
+            ));
+        }
+        let duration_ms = self.duration.as_nanos() / 1_000_000;
+        if let Some(&worst) = self.start_offset_ms.iter().max() {
+            if worst >= duration_ms {
+                return Err(format!(
+                    "start offset {worst}ms leaves no runtime in a {duration_ms}ms run"
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// Whether any group joins late (a nonzero start offset is set).
+    pub fn is_staggered(&self) -> bool {
+        self.start_offset_ms.iter().any(|&off| off > 0)
+    }
+
+    /// Per-group start offsets as typed durations, for the flow wiring.
+    pub fn start_offsets(&self) -> Vec<SimDuration> {
+        self.start_offset_ms.iter().map(|&ms| SimDuration::from_millis(ms)).collect()
     }
 
     /// Whether any fault-injection knob deviates from the fault-free
@@ -386,7 +470,24 @@ impl ScenarioConfig {
             seed,
             self.fault_fingerprint(),
             if self.coalesce { "-gro" } else { "" },
-        ) + &self.topology.cache_tag()
+        ) + &self.offset_tag()
+            + &self.topology.cache_tag()
+    }
+
+    /// Cache-key suffix for staggered joins: `-off<ms>x<ms>…` (one entry
+    /// per configured group), empty when every offset is zero so the
+    /// synchronized grid's keys — and cache entries on disk — never move.
+    fn offset_tag(&self) -> String {
+        if !self.is_staggered() {
+            return String::new();
+        }
+        let joined = self
+            .start_offset_ms
+            .iter()
+            .map(|ms| ms.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        format!("-off{joined}")
     }
 
     /// Human-readable label ("BBRv1 vs CUBIC, fifo, 2 BDP, 1Gbps"); a
@@ -660,6 +761,81 @@ mod tests {
             let back = ScenarioConfig::from_json_str(&cfg.to_json_string()).unwrap();
             assert_eq!(back, cfg);
         }
+    }
+
+    #[test]
+    fn start_offset_changes_cache_key_only_when_nonzero() {
+        let opts = RunOptions::standard();
+        let base =
+            ScenarioConfig::new(CcaKind::Cubic, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        assert!(!base.is_staggered());
+        assert!(
+            !base.cache_key(1).contains("-off"),
+            "synchronized configs must keep their pre-offset cache keys"
+        );
+        // All-zero offsets are synchronized too: no tag, no key movement.
+        let mut zeroed = base.clone();
+        zeroed.start_offset_ms = vec![0, 0];
+        assert_eq!(base.cache_key(1), zeroed.cache_key(1));
+        let late = ScenarioConfig::builder(
+            CcaKind::Cubic,
+            CcaKind::Cubic,
+            AqmKind::Fifo,
+            2.0,
+            PAPER_BWS[0],
+            &opts,
+        )
+        .start_offset_ms(vec![0, 3000])
+        .build()
+        .unwrap();
+        assert!(late.is_staggered());
+        assert_ne!(base.cache_key(1), late.cache_key(1));
+        assert!(late.cache_key(1).contains("-off0x3000"), "{}", late.cache_key(1));
+    }
+
+    #[test]
+    fn start_offset_json_is_omitted_when_empty_and_backfilled_on_parse() {
+        use elephants_json::FromJson;
+        let opts = RunOptions::quick();
+        let base =
+            ScenarioConfig::new(CcaKind::BbrV1, CcaKind::Cubic, AqmKind::Fifo, 2.0, PAPER_BWS[0], &opts);
+        let json = base.to_json_string();
+        assert!(
+            !json.contains("start_offset_ms"),
+            "default configs must serialize byte-identically to the pre-offset era"
+        );
+        // Pre-offset documents (no field at all) parse with an empty list.
+        let back = ScenarioConfig::from_json_str(&json).unwrap();
+        assert_eq!(back, base);
+        assert!(back.start_offset_ms.is_empty());
+        // Staggered (and even explicit all-zero) lists round-trip exactly.
+        for offsets in [vec![0, 2000], vec![0, 0]] {
+            let mut cfg = base.clone();
+            cfg.start_offset_ms = offsets;
+            let again = ScenarioConfig::from_json_str(&cfg.to_json_string()).unwrap();
+            assert_eq!(again, cfg);
+        }
+    }
+
+    #[test]
+    fn start_offset_validation_bounds_groups_and_duration() {
+        let opts = RunOptions::quick();
+        let builder = |offs: Vec<u64>| {
+            ScenarioConfig::builder(
+                CcaKind::Cubic,
+                CcaKind::Cubic,
+                AqmKind::Fifo,
+                2.0,
+                PAPER_BWS[0],
+                &opts,
+            )
+            .start_offset_ms(offs)
+            .build()
+        };
+        assert!(builder(vec![0, 1000]).is_ok());
+        assert!(builder(vec![0, 0, 1000]).is_err(), "dumbbell has two groups");
+        let err = builder(vec![0, 10_000_000]).unwrap_err();
+        assert!(err.contains("no runtime"), "{err}");
     }
 
     #[test]

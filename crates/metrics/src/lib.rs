@@ -53,6 +53,26 @@ pub fn link_utilization(total_throughput_bps: f64, capacity_bps: f64) -> f64 {
     phi.min(1.0)
 }
 
+/// Burst-tolerant utilization for *windowed* measurements.
+///
+/// Over a short window, delivery is quantized to whole segments and a
+/// queue built up in earlier windows can drain into this one, so the
+/// per-window ratio legitimately exceeds 1.0 — at a 10 ms window on a
+/// 25 Gbps link a single extra 8900-byte segment is already ~0.03 φ, and
+/// a draining queue can push a window well past the 1.05 accounting
+/// bound [`link_utilization`] enforces for whole-run measurements. This
+/// variant therefore returns the raw ratio unclamped; averaging the
+/// series over many windows converges back to the whole-run φ. Use
+/// [`link_utilization`] for run-level accounting, this for time series.
+pub fn link_utilization_windowed(window_throughput_bps: f64, capacity_bps: f64) -> f64 {
+    assert!(capacity_bps > 0.0, "capacity must be positive");
+    debug_assert!(
+        window_throughput_bps >= 0.0 && window_throughput_bps.is_finite(),
+        "windowed throughput must be finite and non-negative, got {window_throughput_bps}"
+    );
+    window_throughput_bps / capacity_bps
+}
+
 /// Sentinel returned by [`relative_retransmissions`] when the ratio is
 /// undefined: the CUBIC reference saw zero retransmissions while the
 /// scenario did not. A genuine RR is always positive, so `-1.0` cannot be
@@ -274,6 +294,21 @@ mod tests {
     #[should_panic]
     fn utilization_rejects_zero_capacity() {
         link_utilization(1.0, 0.0);
+    }
+
+    #[test]
+    fn windowed_utilization_tolerates_bursts() {
+        // A queue-drain window at 1.2x capacity would trip the run-level
+        // accounting assert; the windowed variant reports it faithfully.
+        assert!((link_utilization_windowed(120e6, 100e6) - 1.2).abs() < 1e-12);
+        assert_eq!(link_utilization_windowed(50e6, 100e6), 0.5);
+        assert_eq!(link_utilization_windowed(0.0, 100e6), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn windowed_utilization_rejects_zero_capacity() {
+        link_utilization_windowed(1.0, 0.0);
     }
 
     #[test]

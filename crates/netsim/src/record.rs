@@ -43,6 +43,10 @@ pub struct FlowSample {
     pub flow: FlowId,
     /// The sender's probe data.
     pub probe: FlowProbe,
+    /// Cumulative bytes delivered to the receiver's application.
+    pub delivered_bytes: u64,
+    /// Cumulative retransmitted segments at the sender.
+    pub retx: u64,
 }
 
 /// One bottleneck-queue telemetry sample. Multi-bottleneck topologies emit

@@ -788,7 +788,13 @@ impl Simulator {
         if cfg.flows {
             for (i, slot) in self.flows.iter().enumerate() {
                 if let Some(probe) = slot.sender.telemetry_probe(now) {
-                    rec.on_flow_sample(&FlowSample { t: now, flow: FlowId(i as u32), probe });
+                    rec.on_flow_sample(&FlowSample {
+                        t: now,
+                        flow: FlowId(i as u32),
+                        probe,
+                        delivered_bytes: slot.receiver.report().delivered_bytes,
+                        retx: slot.sender.report().retransmits,
+                    });
                 }
             }
         }

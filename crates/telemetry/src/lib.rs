@@ -13,7 +13,7 @@
 //! `elephants-json`; the artifact carries [`FLIGHT_RECORD_VERSION`] so
 //! readers can reject records written by a different schema.
 
-use elephants_json::{impl_json_struct, FromJson, JsonError};
+use elephants_json::{impl_json_struct, FromJson, JsonError, Value};
 use elephants_netsim::{
     FlowSample, QueueSample, Recorder, SimDuration, TraceEvent, TRACE_NO_FLOW,
 };
@@ -24,7 +24,14 @@ use std::any::Any;
 ///
 /// v2: [`QueuePoint`] gained a `link` field so multi-bottleneck topologies
 /// can record one queue series per instrumented link.
-pub const FLIGHT_RECORD_VERSION: u32 = 2;
+///
+/// v3: [`FlowPoint`] gained cumulative `delivered_bytes` / `retx` counters
+/// so the analysis layer can difference windowed goodput out of a record.
+///
+/// The parser is backward compatible: v1 and v2 records are upgraded on
+/// read ([`FlightRecord::parse`]), with missing counters backfilled to 0
+/// (and, for v1, the queue `link` backfilled to 0 — single-bottleneck era).
+pub const FLIGHT_RECORD_VERSION: u32 = 3;
 
 /// One per-flow sample row (times in seconds; `null` = not yet measured).
 #[derive(Debug, Clone, PartialEq)]
@@ -43,9 +50,25 @@ pub struct FlowPoint {
     pub inflight: u64,
     /// CCA phase label (e.g. `"slow_start"`, `"probe_bw:1.25"`).
     pub phase: String,
+    /// Cumulative bytes delivered to the receiver's application (v3+;
+    /// backfilled to 0 when parsing older records).
+    pub delivered_bytes: u64,
+    /// Cumulative retransmitted segments at the sender (v3+; backfilled
+    /// to 0 when parsing older records).
+    pub retx: u64,
 }
 
-impl_json_struct!(FlowPoint { t_s, flow, cwnd, pacing_bps, srtt_s, inflight, phase });
+impl_json_struct!(FlowPoint {
+    t_s,
+    flow,
+    cwnd,
+    pacing_bps,
+    srtt_s,
+    inflight,
+    phase,
+    delivered_bytes,
+    retx,
+});
 
 /// One bottleneck-queue sample row. Multi-bottleneck topologies interleave
 /// one row per instrumented link per tick, distinguished by `link`.
@@ -121,17 +144,48 @@ impl_json_struct!(FlightRecord {
     events_truncated,
 });
 
+/// Append `(name, 0)` to every object in a JSON array field unless the
+/// key is already present — the backfill primitive behind the versioned
+/// parser's upgrade path.
+fn backfill_zero(v: &mut Value, array_field: &str, name: &str) {
+    let Value::Object(fields) = v else { return };
+    let Some((_, Value::Array(rows))) = fields.iter_mut().find(|(k, _)| k == array_field) else {
+        return;
+    };
+    for row in rows {
+        if let Value::Object(row_fields) = row {
+            if !row_fields.iter().any(|(k, _)| k == name) {
+                row_fields.push((name.to_string(), Value::Int(0)));
+            }
+        }
+    }
+}
+
 impl FlightRecord {
     /// Parse a record, rejecting schema mismatches loudly.
+    ///
+    /// Older schema versions are upgraded on read rather than rejected:
+    /// v1/v2 flow points predate the cumulative `delivered_bytes` / `retx`
+    /// counters (backfilled to 0 — analysis over such records sees zero
+    /// goodput, not garbage), and v1 queue points predate multi-bottleneck
+    /// `link` ids (backfilled to 0). The original `schema_version` is kept
+    /// so provenance stays visible. Unknown (future) versions still fail.
     pub fn parse(s: &str) -> Result<FlightRecord, JsonError> {
-        let rec = FlightRecord::from_json_str(s)?;
-        if rec.schema_version != FLIGHT_RECORD_VERSION {
+        let mut v = elephants_json::parse(s)?;
+        let version = u32::from_json(v.get_field("schema_version")?)?;
+        if version == 0 || version > FLIGHT_RECORD_VERSION {
             return Err(JsonError::new(format!(
-                "flight record schema v{} (reader supports v{})",
-                rec.schema_version, FLIGHT_RECORD_VERSION
+                "flight record schema v{version} (reader supports v1..v{FLIGHT_RECORD_VERSION})"
             )));
         }
-        Ok(rec)
+        if version < 3 {
+            backfill_zero(&mut v, "flow_samples", "delivered_bytes");
+            backfill_zero(&mut v, "flow_samples", "retx");
+        }
+        if version < 2 {
+            backfill_zero(&mut v, "queue_samples", "link");
+        }
+        FlightRecord::from_json(&v)
     }
 
     /// The distinct flow ids present, ascending.
@@ -148,6 +202,25 @@ impl FlightRecord {
             .iter()
             .filter(|p| p.flow == flow)
             .map(|p| (p.t_s, p.cwnd as f64))
+            .collect()
+    }
+
+    /// The `(t, cumulative delivered bytes)` series of one flow. All-zero
+    /// for records older than schema v3 (the counter is backfilled).
+    pub fn delivered_series(&self, flow: u32) -> Vec<(f64, f64)> {
+        self.flow_samples
+            .iter()
+            .filter(|p| p.flow == flow)
+            .map(|p| (p.t_s, p.delivered_bytes as f64))
+            .collect()
+    }
+
+    /// The `(t, cumulative retransmitted segments)` series of one flow.
+    pub fn retx_series(&self, flow: u32) -> Vec<(f64, f64)> {
+        self.flow_samples
+            .iter()
+            .filter(|p| p.flow == flow)
+            .map(|p| (p.t_s, p.retx as f64))
             .collect()
     }
 
@@ -240,6 +313,8 @@ impl Recorder for FlightRecorder {
             srtt_s: s.probe.srtt.map(|d| d.as_secs_f64()),
             inflight: s.probe.inflight,
             phase: s.probe.phase.to_string(),
+            delivered_bytes: s.delivered_bytes,
+            retx: s.retx,
         });
     }
 
@@ -295,6 +370,8 @@ mod tests {
                 inflight: cwnd / 2,
                 phase,
             },
+            delivered_bytes: cwnd * t_ms,
+            retx: t_ms / 10,
         }
     }
 
@@ -340,9 +417,45 @@ mod tests {
     #[test]
     fn schema_mismatch_is_rejected() {
         let record = FlightRecorder::new().into_record("x".into(), 0, SimDuration::from_millis(1));
-        let json = record.to_json_string().replace("\"schema_version\":2", "\"schema_version\":99");
+        let json = record.to_json_string().replace("\"schema_version\":3", "\"schema_version\":99");
         let err = FlightRecord::parse(&json).unwrap_err();
         assert!(err.to_string().contains("schema"), "{err}");
+        let zero = record.to_json_string().replace("\"schema_version\":3", "\"schema_version\":0");
+        assert!(FlightRecord::parse(&zero).is_err(), "v0 was never written");
+    }
+
+    #[test]
+    fn v2_records_parse_with_counters_backfilled() {
+        // A pre-v3 record: flow points have no delivered_bytes/retx.
+        let json = r#"{"schema_version":2,"label":"old","seed":5,"sample_interval_s":0.01,
+            "flow_samples":[{"t_s":0.01,"flow":0,"cwnd":14800,"pacing_bps":null,
+                "srtt_s":0.062,"inflight":7400,"phase":"slow_start"}],
+            "queue_samples":[{"t_s":0.01,"link":1,"backlog_pkts":2,"backlog_bytes":3000,
+                "dropped":0,"marked":0,"control":null}],
+            "events":[],"events_truncated":0}"#;
+        let rec = FlightRecord::parse(json).unwrap();
+        assert_eq!(rec.schema_version, 2, "provenance is preserved");
+        assert_eq!(rec.flow_samples[0].delivered_bytes, 0);
+        assert_eq!(rec.flow_samples[0].retx, 0);
+        assert_eq!(rec.flow_samples[0].cwnd, 14_800);
+        assert_eq!(rec.queue_samples[0].link, 1);
+    }
+
+    #[test]
+    fn v1_records_parse_with_link_and_counters_backfilled() {
+        // The v1 era: single bottleneck, queue points had no link id.
+        let json = r#"{"schema_version":1,"label":"ancient","seed":5,"sample_interval_s":0.01,
+            "flow_samples":[{"t_s":0.01,"flow":1,"cwnd":29600,"pacing_bps":2000000,
+                "srtt_s":null,"inflight":0,"phase":"startup"}],
+            "queue_samples":[{"t_s":0.01,"backlog_pkts":9,"backlog_bytes":13500,
+                "dropped":1,"marked":0,"control":0.5}],
+            "events":[],"events_truncated":0}"#;
+        let rec = FlightRecord::parse(json).unwrap();
+        assert_eq!(rec.schema_version, 1);
+        assert_eq!(rec.flow_samples[0].delivered_bytes, 0);
+        assert_eq!(rec.flow_samples[0].retx, 0);
+        assert_eq!(rec.queue_samples[0].link, 0, "v1 queue points map to link 0");
+        assert_eq!(rec.queue_series_for(0).len(), 1);
     }
 
     #[test]
@@ -397,6 +510,10 @@ mod tests {
         assert!((cwnd[0].0 - 0.0).abs() < 1e-12);
         assert!((cwnd[1].0 - 0.01).abs() < 1e-12);
         assert_eq!(cwnd[0].1, 10_000.0);
+        let delivered = rec.delivered_series(0);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[1].1, 100_000.0, "cumulative counter rides the sample");
+        assert_eq!(rec.retx_series(0)[1].1, 1.0);
         assert!(rec.queue_series().is_empty());
     }
 }

@@ -95,6 +95,9 @@ pub struct GroupSpec {
     pub cca_slot: u8,
     /// Two-way propagation delay along the group's routed path.
     pub rtt: SimDuration,
+    /// Join delay added to every flow start in this group (ZERO for the
+    /// paper's synchronized start; nonzero makes the group a late joiner).
+    pub start_offset: SimDuration,
 }
 
 /// Derive the flow groups of a built topology: one per (sender, receiver)
@@ -119,8 +122,24 @@ pub fn group_specs(topo: &Topology) -> Vec<GroupSpec> {
             rtt: topo
                 .path_rtt(s, r)
                 .unwrap_or_else(|| panic!("group {g} ({s:?} -> {r:?}) is unroutable")),
+            start_offset: SimDuration::ZERO,
         })
         .collect()
+}
+
+/// Apply per-group start offsets to a group list (staggered-join
+/// scenarios). `offsets` may be shorter than the group list — remaining
+/// groups keep a ZERO offset; it must not be longer.
+pub fn apply_start_offsets(groups: &mut [GroupSpec], offsets: &[SimDuration]) {
+    assert!(
+        offsets.len() <= groups.len(),
+        "{} start offsets for {} groups",
+        offsets.len(),
+        groups.len()
+    );
+    for (g, &off) in groups.iter_mut().zip(offsets.iter()) {
+        g.start_offset = off;
+    }
 }
 
 /// Build the flow plan for a scenario.
@@ -217,6 +236,24 @@ mod tests {
         let groups = group_specs(&topo);
         assert_eq!(groups[0].rtt, SimDuration::from_millis(31));
         assert_eq!(groups[1].rtt, SimDuration::from_millis(124));
+    }
+
+    #[test]
+    fn start_offsets_apply_prefix_and_default_zero() {
+        let topo = elephants_netsim::DumbbellSpec::paper(Bandwidth::from_mbps(100)).build();
+        let mut groups = group_specs(&topo);
+        assert!(groups.iter().all(|g| g.start_offset == SimDuration::ZERO));
+        apply_start_offsets(&mut groups, &[SimDuration::from_secs(3)]);
+        assert_eq!(groups[0].start_offset, SimDuration::from_secs(3));
+        assert_eq!(groups[1].start_offset, SimDuration::ZERO, "unlisted groups stay at zero");
+    }
+
+    #[test]
+    #[should_panic]
+    fn start_offsets_reject_excess_entries() {
+        let topo = elephants_netsim::DumbbellSpec::paper(Bandwidth::from_mbps(100)).build();
+        let mut groups = group_specs(&topo);
+        apply_start_offsets(&mut groups, &[SimDuration::ZERO; 3]);
     }
 
     #[test]

@@ -42,6 +42,15 @@
 #                                rtt_unfair binary (which exits nonzero if
 #                                the short-RTT BBR share is not monotone in
 #                                the RTT ratio)
+#   scripts/ci.sh --dynamics-smoke  also run the fairness-dynamics lane:
+#                                the dynamics binary on the quick 100 Mbps
+#                                scenario (exits nonzero unless BBRv1-vs-
+#                                CUBIC shows the paper's early-suppression/
+#                                partial-recovery shape and a late CUBIC
+#                                joiner claims fair share in finite time)
+#                                plus a replay of the flight-record
+#                                back-compat suite (v1/v2 fixtures must
+#                                still parse with counters backfilled)
 #   scripts/ci.sh --bench-gate   also run the tracked engine benchmarks
 #                                against a scratch copy of the committed
 #                                BENCH_netsim.json and fail when events/sec
@@ -58,6 +67,7 @@ record_smoke=0
 check_smoke=0
 fuzz_smoke=0
 topo_smoke=0
+dynamics_smoke=0
 bench_gate=0
 for arg in "$@"; do
   case "$arg" in
@@ -67,6 +77,7 @@ for arg in "$@"; do
     --check-smoke) check_smoke=1 ;;
     --fuzz-smoke) fuzz_smoke=1 ;;
     --topo-smoke) topo_smoke=1 ;;
+    --dynamics-smoke) dynamics_smoke=1 ;;
     --bench-gate) bench_gate=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
@@ -179,6 +190,32 @@ if [[ "$topo_smoke" -eq 1 ]]; then
     echo "topo smoke: rtt_unfair did not report monotone shares" >&2
     exit 1
   fi
+fi
+
+if [[ "$dynamics_smoke" -eq 1 ]]; then
+  # The fairness-dynamics lane: windowed-analysis claims plus schema
+  # back-compat.
+  # 1. The dynamics binary runs the CCA-pair matrix with the recorder on
+  #    and exits nonzero if BBRv1-vs-CUBIC loses the paper's shape or the
+  #    late CUBIC joiner never reaches fair share; the grep pins the
+  #    machine-readable summary so a silently-vacuous run also fails.
+  dyn_dir="$(mktemp -d)"
+  trap 'rm -rf "$dyn_dir"' EXIT
+  out="$(cargo run --release --offline -p elephants-experiments --bin dynamics -- \
+    --bw 100M --secs 10 --seed 1 --out "$dyn_dir" 2>&1 | tee /dev/stderr)"
+  if ! grep -q 'dynamics: pairs=5 shape=ok late_join=ok' <<<"$out"; then
+    echo "dynamics smoke: shape or late-join gate failed" >&2
+    exit 1
+  fi
+  if [[ ! -s "$dyn_dir/dynamics.md" ]]; then
+    echo "dynamics smoke: markdown report missing" >&2
+    exit 1
+  fi
+
+  # 2. Record-version back-compat: committed v1/v2 fixtures must parse
+  #    with the v3 counters backfilled (plus the recorder-identity tests
+  #    riding in the same suite).
+  cargo test -q --offline -p integration-tests --test telemetry
 fi
 
 if [[ "$check_smoke" -eq 1 ]]; then

@@ -35,9 +35,9 @@ fn first_seed(tag: &str, pred: impl Fn(&ScenarioConfig) -> bool) -> (u64, Scenar
         .unwrap_or_else(|| panic!("no cheap generated case matching `{tag}` in 10k seeds"))
 }
 
-/// The curated corner cases: one faulted, one lossy, one coalescing and
-/// one multi-bottleneck run, each found by a deterministic scan over the
-/// generator's seed space.
+/// The curated corner cases: one faulted, one lossy, one coalescing, one
+/// multi-bottleneck and one staggered-start run, each found by a
+/// deterministic scan over the generator's seed space.
 fn curated_fixtures() -> Vec<ChaosFixture> {
     let picks = [
         ("faulted", first_seed("faulted", |c| !c.faults.is_empty())),
@@ -47,6 +47,7 @@ fn curated_fixtures() -> Vec<ChaosFixture> {
             "multi-bottleneck",
             first_seed("multi-bottleneck", |c| c.topology.n_bottlenecks() > 1),
         ),
+        ("staggered", first_seed("staggered", |c| c.is_staggered())),
     ];
     picks
         .into_iter()
